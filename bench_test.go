@@ -1,0 +1,248 @@
+// Package rostracer_bench benchmarks the full reproduction pipeline: one
+// benchmark per paper artifact (Table I, Table II, Fig. 2, Fig. 3a,
+// Fig. 3b, Fig. 4, overheads, ablations, validation) plus microbenchmarks
+// of the substrates the artifacts rest on (eBPF dispatch, Algorithms 1/2,
+// DAG synthesis and merge).
+//
+// Run with: go test -bench=. -benchmem
+package rostracer_bench
+
+import (
+	"testing"
+
+	"github.com/tracesynth/rostracer/internal/apps"
+	"github.com/tracesynth/rostracer/internal/core"
+	"github.com/tracesynth/rostracer/internal/ebpf"
+	"github.com/tracesynth/rostracer/internal/harness"
+	"github.com/tracesynth/rostracer/internal/rclcpp"
+	"github.com/tracesynth/rostracer/internal/sim"
+	"github.com/tracesynth/rostracer/internal/trace"
+	"github.com/tracesynth/rostracer/internal/tracers"
+)
+
+// benchCfg scales experiments so one iteration stays in the tens of
+// milliseconds; the experiment *structure* is identical to paper scale.
+func benchCfg() harness.Config {
+	return harness.Config{Runs: 2, Duration: 4 * sim.Second, CPUs: 8, Seed: 9}
+}
+
+func runExperiment(b *testing.B, f func(harness.Config) (harness.Result, error), cfg harness.Config) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(9 + i)
+		r, err := f(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.OK {
+			b.Fatalf("experiment shape mismatch:\n%s", r.Text)
+		}
+	}
+}
+
+// BenchmarkTableI_ProbeInventory regenerates Table I (E1).
+func BenchmarkTableI_ProbeInventory(b *testing.B) {
+	runExperiment(b, harness.TableIExperiment, benchCfg())
+}
+
+// BenchmarkFig3a_SYNSynthesis regenerates Fig. 3a (E2).
+func BenchmarkFig3a_SYNSynthesis(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Duration = 8 * sim.Second
+	runExperiment(b, harness.Fig3aExperiment, cfg)
+}
+
+// BenchmarkFig3b_AVPSynthesis regenerates Fig. 3b (E3).
+func BenchmarkFig3b_AVPSynthesis(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Duration = 8 * sim.Second
+	runExperiment(b, harness.Fig3bExperiment, cfg)
+}
+
+// BenchmarkTableII_AVPStats regenerates Table II (E4).
+func BenchmarkTableII_AVPStats(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Runs = 4
+	cfg.Duration = 15 * sim.Second
+	cfg.CPUs = 12
+	runExperiment(b, harness.TableIIExperiment, cfg)
+}
+
+// BenchmarkFig4_Convergence regenerates Fig. 4 (E5).
+func BenchmarkFig4_Convergence(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Runs = 6
+	cfg.Duration = 10 * sim.Second
+	cfg.CPUs = 12
+	runExperiment(b, harness.Fig4Experiment, cfg)
+}
+
+// BenchmarkOverheads_Tracing regenerates the Sec. VI overheads (E6).
+func BenchmarkOverheads_Tracing(b *testing.B) {
+	runExperiment(b, harness.OverheadsExperiment, benchCfg())
+}
+
+// BenchmarkFig2_MergeStrategies regenerates the Fig. 2 strategies (E7).
+func BenchmarkFig2_MergeStrategies(b *testing.B) {
+	runExperiment(b, harness.Fig2Experiment, benchCfg())
+}
+
+// BenchmarkAblationService regenerates the service-splitting ablation (E8).
+func BenchmarkAblationService(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Duration = 8 * sim.Second
+	runExperiment(b, harness.AblationServiceExperiment, cfg)
+}
+
+// BenchmarkAblationSync regenerates the synchronization ablation (E9).
+func BenchmarkAblationSync(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Runs = 6
+	cfg.Duration = 6 * sim.Second
+	cfg.CPUs = 12
+	runExperiment(b, harness.AblationSyncExperiment, cfg)
+}
+
+// BenchmarkValidation_MeasuredVsDesigned regenerates E10.
+func BenchmarkValidation_MeasuredVsDesigned(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Runs = 2
+	cfg.Duration = 4 * sim.Second
+	runExperiment(b, harness.ValidationExperiment, cfg)
+}
+
+// --- substrate microbenchmarks ---
+
+// avpTrace produces one AVP trace for the synthesis microbenches.
+func avpTrace(b *testing.B, seconds sim.Duration) *trace.Trace {
+	b.Helper()
+	s, err := harness.RunSession(5, 8, seconds, true, func(w *rclcpp.World) {
+		apps.BuildAVP(w, apps.AVPConfig{})
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s.Trace
+}
+
+// BenchmarkSimulation_AVPSecond measures simulating + tracing one virtual
+// second of the AVP pipeline.
+func BenchmarkSimulation_AVPSecond(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := harness.RunSession(uint64(i), 8, sim.Second, true, func(w *rclcpp.World) {
+			apps.BuildAVP(w, apps.AVPConfig{})
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlg1_ExtractModel measures Algorithm 1 over a 20 s AVP trace.
+func BenchmarkAlg1_ExtractModel(b *testing.B) {
+	tr := avpTrace(b, 20*sim.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.ExtractModel(tr)
+		if len(m.Callbacks) == 0 {
+			b.Fatal("no callbacks")
+		}
+	}
+}
+
+// BenchmarkAlg2_ExecTime measures the execution-time computation on a
+// preemption-heavy switch sequence.
+func BenchmarkAlg2_ExecTime(b *testing.B) {
+	var sched []trace.Event
+	for i := 0; i < 2000; i++ {
+		t := sim.Time(i * 1000)
+		prev, next := uint32(7), uint32(9)
+		if i%2 == 1 {
+			prev, next = 9, 7
+		}
+		sched = append(sched, trace.Event{Time: t, Seq: uint64(i), Kind: trace.KindSchedSwitch, PrevPID: prev, NextPID: next})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := core.ExecTime(500, 1999500, 0, 1<<62, 7, sched); got <= 0 {
+			b.Fatal("bad ET")
+		}
+	}
+}
+
+// BenchmarkDAG_Synthesize measures full DAG synthesis from a trace.
+func BenchmarkDAG_Synthesize(b *testing.B) {
+	tr := avpTrace(b, 20*sim.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := core.Synthesize(tr)
+		if len(d.Vertices) != 7 {
+			b.Fatalf("vertices %d", len(d.Vertices))
+		}
+	}
+}
+
+// BenchmarkDAG_Merge measures merging 50 per-run DAGs.
+func BenchmarkDAG_Merge(b *testing.B) {
+	tr := avpTrace(b, 5*sim.Second)
+	base := core.Synthesize(tr)
+	dags := make([]*core.DAG, 50)
+	for i := range dags {
+		dags[i] = base
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := core.MergeDAGs(dags...)
+		if len(d.Vertices) != 7 {
+			b.Fatal("merge broke")
+		}
+	}
+}
+
+// BenchmarkEBPF_ProbeDispatch measures one uprobe firing through the
+// verifier-approved interpreter (the per-event tracing cost).
+func BenchmarkEBPF_ProbeDispatch(b *testing.B) {
+	w := rclcpp.NewWorld(rclcpp.Config{NumCPUs: 2, Seed: 1})
+	bundle, err := tracers.NewBundle(w.Runtime())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := bundle.StartRT(); err != nil {
+		b.Fatal(err)
+	}
+	node := w.NewNode("bench", 5, 0)
+	_ = node
+	sym := ebpf.Symbol{Lib: "rclcpp", Func: "execute_subscription"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Runtime().FireUprobe(node.PID(), 0, sym)
+	}
+}
+
+// BenchmarkTraceCodec_Binary measures the trace store codec.
+func BenchmarkTraceCodec_Binary(b *testing.B) {
+	tr := avpTrace(b, 10*sim.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf writeCounter
+		if err := trace.WriteBinary(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf))
+	}
+}
+
+type writeCounter int
+
+func (w *writeCounter) Write(p []byte) (int, error) {
+	*w += writeCounter(len(p))
+	return len(p), nil
+}

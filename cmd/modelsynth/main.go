@@ -1,0 +1,117 @@
+// Command modelsynth reads traces from a trace database and synthesizes
+// the timing model: Algorithm 1 per node, Algorithm 2 for execution times,
+// and the DAG-construction rules of Sec. IV. Per-session DAGs are merged
+// (the paper's experiment methodology).
+//
+// Usage:
+//
+//	modelsynth -in ./traces [-dot model.dot] [-json model.json] [-mode-prefix avp]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/tracesynth/rostracer/internal/analysis"
+	"github.com/tracesynth/rostracer/internal/core"
+	"github.com/tracesynth/rostracer/internal/sim"
+	"github.com/tracesynth/rostracer/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("modelsynth: ")
+
+	in := flag.String("in", "./traces", "trace database directory")
+	dotOut := flag.String("dot", "", "write Graphviz DOT to this file")
+	jsonOut := flag.String("json", "", "write JSON model to this file")
+	prefix := flag.String("session-prefix", "", "only use sessions whose name has this prefix")
+	chains := flag.Bool("chains", false, "print computation chains and WCET bounds")
+	loads := flag.Bool("loads", false, "print processor loads and a 4-core greedy binding")
+	span := flag.Duration("span", 0, "observation span per session for -loads (0 = infer)")
+	flag.Parse()
+
+	store, err := trace.NewStore(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sessions, err := store.Sessions()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var dags []*core.DAG
+	var inferredSpan sim.Duration
+	for _, s := range sessions {
+		if *prefix != "" && !strings.HasPrefix(s, *prefix) {
+			continue
+		}
+		tr, err := store.LoadSession(s)
+		if err != nil {
+			log.Fatalf("loading %s: %v", s, err)
+		}
+		first, last := tr.TimeSpan()
+		inferredSpan += last.Sub(first)
+		dags = append(dags, core.Synthesize(tr))
+		log.Printf("session %s: %d events", s, tr.Len())
+	}
+	if len(dags) == 0 {
+		log.Fatal("no sessions found")
+	}
+	d := core.MergeDAGs(dags...)
+
+	fmt.Print(core.Summary(d))
+
+	if *dotOut != "" {
+		if err := os.WriteFile(*dotOut, []byte(core.ToDOT(d, "synthesized timing model")), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("DOT written to %s", *dotOut)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := core.WriteJSON(f, d); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		log.Printf("JSON written to %s", *jsonOut)
+	}
+	if *chains {
+		fmt.Println("\ncomputation chains:")
+		for _, c := range analysis.Chains(d, 0) {
+			bound := analysis.ChainWCETBound(d, c)
+			fmt.Printf("  [bound %.2f ms] %s\n", bound.Milliseconds(), renderChain(d, c))
+		}
+	}
+	if *loads {
+		obsSpan := sim.Duration(*span)
+		if obsSpan == 0 {
+			obsSpan = inferredSpan
+		}
+		fmt.Println("\nprocessor loads:")
+		ls := analysis.Loads(d, obsSpan)
+		for _, l := range ls {
+			fmt.Printf("  %-60.60s %6.2f Hz  %8.2f ms  %6.2f%%\n",
+				l.Key, l.RateHz, l.ACET.Milliseconds(), 100*l.Utilization)
+		}
+		b := analysis.GreedyBinding(analysis.NodeLoads(ls), 4)
+		fmt.Println("greedy 4-core binding:")
+		for node, cpu := range b.CPUOf {
+			fmt.Printf("  cpu%d <- %s\n", cpu, node)
+		}
+		fmt.Printf("max core load: %.2f%%\n", 100*b.MaxLoad)
+	}
+}
+
+func renderChain(d *core.DAG, c analysis.Chain) string {
+	var parts []string
+	for _, k := range c.Keys {
+		parts = append(parts, d.Vertices[k].Label())
+	}
+	return strings.Join(parts, " -> ")
+}

@@ -1,0 +1,129 @@
+// Command rostracer runs a built-in ROS2 application set under the eBPF
+// tracers inside the simulated host and writes the collected trace to a
+// trace database (Fig. 2's deployment flow).
+//
+// Usage:
+//
+//	rostracer -app avp -duration 20s -runs 3 -out ./traces [-seed 1] [-cpus 12]
+//	rostracer -app syn ...
+//	rostracer -app both ...
+//
+// Each run becomes one session in the store, segmented every -segment of
+// virtual time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/tracesynth/rostracer/internal/apps"
+	"github.com/tracesynth/rostracer/internal/harness"
+	"github.com/tracesynth/rostracer/internal/rclcpp"
+	"github.com/tracesynth/rostracer/internal/sim"
+	"github.com/tracesynth/rostracer/internal/trace"
+	"github.com/tracesynth/rostracer/internal/tracers"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rostracer: ")
+
+	app := flag.String("app", "avp", "application to trace: avp, syn, or both")
+	duration := flag.Duration("duration", 20*time.Second, "virtual time to trace per run")
+	segment := flag.Duration("segment", 5*time.Second, "virtual time per trace segment")
+	runs := flag.Int("runs", 1, "number of runs (sessions)")
+	out := flag.String("out", "./traces", "trace database directory")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	cpus := flag.Int("cpus", 12, "simulated CPU count")
+	jsonl := flag.Bool("jsonl", false, "additionally dump each session as JSONL")
+	unfilteredKernel := flag.Bool("unfiltered-kernel", false, "disable PID filtering in the kernel tracer")
+	flag.Parse()
+
+	build, err := buildFunc(*app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := trace.NewStore(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for run := 0; run < *runs; run++ {
+		session := fmt.Sprintf("%s-run%03d", *app, run)
+		if err := traceOneRun(store, session, build, *seed+uint64(run), *cpus,
+			sim.Duration(*duration), sim.Duration(*segment), !*unfilteredKernel, *jsonl, *out); err != nil {
+			log.Fatalf("run %d: %v", run, err)
+		}
+		log.Printf("session %s written to %s", session, *out)
+	}
+}
+
+func buildFunc(app string) (func(*rclcpp.World), error) {
+	switch app {
+	case "avp":
+		return func(w *rclcpp.World) { apps.BuildAVP(w, apps.AVPConfig{}) }, nil
+	case "syn":
+		return func(w *rclcpp.World) { apps.BuildSYN(w, apps.SYNConfig{}) }, nil
+	case "both":
+		return harness.BuildBoth(1), nil
+	}
+	return nil, fmt.Errorf("unknown app %q (want avp, syn, or both)", app)
+}
+
+func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World),
+	seed uint64, cpus int, duration, segment sim.Duration, filtered, jsonl bool, outDir string) error {
+	w := rclcpp.NewWorld(rclcpp.Config{NumCPUs: cpus, Seed: seed})
+	b, err := tracers.NewBundle(w.Runtime())
+	if err != nil {
+		return err
+	}
+	tracers.BridgeSched(w.Machine(), w.Runtime())
+	if err := b.StartInit(); err != nil {
+		return err
+	}
+	if err := b.StartRT(); err != nil {
+		return err
+	}
+	if err := b.StartKernel(filtered); err != nil {
+		return err
+	}
+	build(w)
+	b.StopInit()
+
+	var all []*trace.Trace
+	segIdx := 0
+	for elapsed := sim.Duration(0); elapsed < duration; elapsed += segment {
+		step := segment
+		if duration-elapsed < step {
+			step = duration - elapsed
+		}
+		w.Run(step)
+		seg, err := b.Drain()
+		if err != nil {
+			return err
+		}
+		if err := store.SaveSegment(session, segIdx, seg); err != nil {
+			return err
+		}
+		all = append(all, seg)
+		segIdx++
+	}
+	if jsonl {
+		f, err := os.Create(fmt.Sprintf("%s/%s.jsonl", outDir, session))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteJSONL(f, trace.Merge(all...)); err != nil {
+			return err
+		}
+	}
+	merged := trace.Merge(all...)
+	log.Printf("  %d events, %.2f MB perf payload, probe cost %.4f cores",
+		merged.Len(), float64(b.TraceBytes())/1e6,
+		w.Runtime().CostNs()/float64(duration))
+	return nil
+}

@@ -1,0 +1,89 @@
+package apps
+
+import (
+	"fmt"
+
+	"github.com/tracesynth/rostracer/internal/rclcpp"
+	"github.com/tracesynth/rostracer/internal/sim"
+)
+
+// RandomPipeline generates a random multi-chain application and returns
+// the designed precedence relations, enabling property tests of the form
+// "whatever the topology, the synthesized DAG matches the designed one".
+//
+// Structure: nSources timer callbacks each publish a root topic; each root
+// spawns a chain of 1..maxDepth subscriber hops, each hop in its own node,
+// republishing to the next topic.
+type RandomPipeline struct {
+	// DesignedEdges holds (fromNode, toNode, topic) triples.
+	DesignedEdges []DesignedEdge
+	// Callbacks counts designed callbacks (timers + subscribers).
+	Callbacks int
+}
+
+// DesignedEdge is one designed precedence relation.
+type DesignedEdge struct {
+	FromNode, ToNode, Topic string
+}
+
+// BuildRandomPipeline instantiates a random pipeline in w using rng.
+func BuildRandomPipeline(w *rclcpp.World, rng *sim.RNG, nSources, maxDepth int) *RandomPipeline {
+	if nSources < 1 {
+		nSources = 1
+	}
+	if maxDepth < 1 {
+		maxDepth = 1
+	}
+	rp := &RandomPipeline{}
+	et := func() sim.Distribution {
+		return sim.Uniform{
+			Min: sim.Duration(100+rng.Intn(400)) * sim.Microsecond,
+			Max: sim.Duration(500+rng.Intn(1500)) * sim.Microsecond,
+		}
+	}
+	for s := 0; s < nSources; s++ {
+		srcNode := w.NewNode(fmt.Sprintf("rand_src_%d", s), 5, 0)
+		topic := fmt.Sprintf("/rand/%d/0", s)
+		pub := srcNode.CreatePublisher(topic)
+		period := sim.Duration(20+rng.Intn(60)) * sim.Millisecond
+		srcNode.CreateTimer(period, sim.Duration(rng.Intn(10))*sim.Millisecond, rclcpp.SimpleBody{
+			ET:     et(),
+			Action: func(*rclcpp.CallbackContext) { pub.Publish(nil) },
+		})
+		rp.Callbacks++
+
+		depth := 1 + rng.Intn(maxDepth)
+		prevNode := srcNode.Name()
+		prevTopic := topic
+		for d := 1; d <= depth; d++ {
+			hopNode := w.NewNode(fmt.Sprintf("rand_hop_%d_%d", s, d), 5, 0)
+			rp.Callbacks++
+			rp.DesignedEdges = append(rp.DesignedEdges, DesignedEdge{prevNode, hopNode.Name(), prevTopic})
+			if d == depth {
+				hopNode.CreateSubscription(prevTopic, rclcpp.SimpleBody{ET: et()})
+				break
+			}
+			nextTopic := fmt.Sprintf("/rand/%d/%d", s, d)
+			hopPub := hopNode.CreatePublisher(nextTopic)
+			subTopic := prevTopic
+			hopNode.CreateSubscription(subTopic, rclcpp.SimpleBody{
+				ET:     et(),
+				Action: func(*rclcpp.CallbackContext) { hopPub.Publish(nil) },
+			})
+			prevNode = hopNode.Name()
+			prevTopic = nextTopic
+		}
+	}
+	return rp
+}
+
+// BackgroundLoad spawns n low-priority busy nodes with short periodic
+// callbacks, used to stress preemption-aware measurement.
+func BackgroundLoad(w *rclcpp.World, n int, prio int, affinity uint64, period, et sim.Duration) {
+	for i := 0; i < n; i++ {
+		node := w.NewNode(fmt.Sprintf("bg_load_%d", i), prio, affinity)
+		node.CreateTimer(period, sim.Duration(i)*period/sim.Duration(n+1), rclcpp.SimpleBody{
+			ET: sim.Constant{Value: et},
+		})
+	}
+}

@@ -1,0 +1,153 @@
+// Package apps contains the evaluation workloads of the paper: the
+// six-node synthetic application SYN covering every callback scenario of
+// Sec. VI, the Autoware AVP LIDAR-localization pipeline of Fig. 3b /
+// Table II, plus sensor drivers, background load, and a random-application
+// generator used by property tests.
+package apps
+
+import (
+	"github.com/tracesynth/rostracer/internal/msgfilters"
+	"github.com/tracesynth/rostracer/internal/rclcpp"
+	"github.com/tracesynth/rostracer/internal/sim"
+)
+
+// SYNConfig parameterizes the synthetic application.
+type SYNConfig struct {
+	// LoadScale multiplies every designed execution time; the Fig. 4
+	// experiment varies it across runs to create varying interference.
+	LoadScale float64
+	// Prio is the scheduling priority of the SYN nodes.
+	Prio int
+	// Affinity restricts SYN nodes to a CPU set (0 = all CPUs).
+	Affinity uint64
+}
+
+// SYN is the synthetic application of Sec. VI (Fig. 3a). Its callback
+// structure covers: (i) several same-type callbacks in one node, (ii) a
+// node mixing timer/subscriber/service callbacks, (iii) one topic with two
+// subscribers, (iv) one service invoked from two different callers, and
+// (v) message synchronization.
+//
+// Topology (names match Fig. 3a):
+//
+//	node1: T1 (timer, /t1), SC5 (sub /clp3), SV3 (service sv3)
+//	node2: SC1 (sub /t1, calls sv1), CL1 (client cb sv1, pub /f1),
+//	       SC2.1+SC2.2 (sync subs /f1,/f2, pub /f3), SC4 (sub /clp3)
+//	node3: T2 (timer, /t3), T3 (timer, calls sv2),
+//	       CL2 (client cb sv2, calls sv3), CL4 (client cb sv3, pub /f2)
+//	node4: SV1 (service sv1), SV2 (service sv2)
+//	node5: SC3 (sub /t3, calls sv3), CL3 (client cb sv3, pub /clp3)
+type SYN struct {
+	Node1, Node2, Node3, Node4, Node5 *rclcpp.Node
+	Sync                              *msgfilters.Synchronizer
+}
+
+// scaled wraps a constant design-time load with the configured scale.
+func scaled(base sim.Duration, scale float64) sim.Distribution {
+	if scale <= 0 {
+		scale = 1
+	}
+	return sim.Constant{Value: sim.Duration(float64(base) * scale)}
+}
+
+// Designed per-callback loads (unscaled), exported for the measurement
+// validation experiment.
+var SYNDesignedET = map[string]sim.Duration{
+	"T1": 2 * sim.Millisecond, "T2": 1 * sim.Millisecond, "T3": 1 * sim.Millisecond,
+	"SC1": 1500 * sim.Microsecond, "SC3": 1 * sim.Millisecond,
+	"SC4": 800 * sim.Microsecond, "SC5": 600 * sim.Microsecond,
+	"SC2.1": 500 * sim.Microsecond, "SC2.2": 400 * sim.Microsecond,
+	"FUSE": 3 * sim.Millisecond,
+	"SV1":  1 * sim.Millisecond, "SV2": 1 * sim.Millisecond, "SV3": 2 * sim.Millisecond,
+	"CL1": 1 * sim.Millisecond, "CL2": 1200 * sim.Microsecond,
+	"CL3": 900 * sim.Microsecond, "CL4": 1 * sim.Millisecond,
+}
+
+// BuildSYN instantiates SYN in w.
+func BuildSYN(w *rclcpp.World, cfg SYNConfig) *SYN {
+	if cfg.Prio == 0 {
+		cfg.Prio = 5
+	}
+	et := func(name string) sim.Distribution { return scaled(SYNDesignedET[name], cfg.LoadScale) }
+
+	s := &SYN{}
+	s.Node1 = w.NewNode("syn_node1", cfg.Prio, cfg.Affinity)
+	s.Node2 = w.NewNode("syn_node2", cfg.Prio, cfg.Affinity)
+	s.Node3 = w.NewNode("syn_node3", cfg.Prio, cfg.Affinity)
+	s.Node4 = w.NewNode("syn_node4", cfg.Prio, cfg.Affinity)
+	s.Node5 = w.NewNode("syn_node5", cfg.Prio, cfg.Affinity)
+
+	// node4: the two servers SV1, SV2.
+	s.Node4.CreateService("sv1", et("SV1"), nil)
+	s.Node4.CreateService("sv2", et("SV2"), nil)
+
+	// node1: T1 publishes /t1; SC5 subscribes /clp3; SV3 serves sv3.
+	pubT1 := s.Node1.CreatePublisher("/t1")
+	s.Node1.CreateTimer(100*sim.Millisecond, 0, rclcpp.SimpleBody{
+		ET:     et("T1"),
+		Action: func(*rclcpp.CallbackContext) { pubT1.Publish(nil) },
+	})
+	s.Node1.CreateSubscription("/clp3", rclcpp.SimpleBody{ET: et("SC5")})
+	s.Node1.CreateService("sv3", et("SV3"), nil)
+
+	// node2: SC1 -> sv1 -> CL1 -> /f1; sync(/f1,/f2) -> /f3; SC4 sub /clp3.
+	pubF1 := s.Node2.CreatePublisher("/f1")
+	cl1 := s.Node2.CreateClient("sv1", rclcpp.SimpleBody{
+		ET:     et("CL1"),
+		Action: func(*rclcpp.CallbackContext) { pubF1.Publish(nil) },
+	})
+	s.Node2.CreateSubscription("/t1", rclcpp.SimpleBody{
+		ET:     et("SC1"),
+		Action: func(*rclcpp.CallbackContext) { cl1.Call(nil) },
+	})
+	pubF3 := s.Node2.CreatePublisher("/f3")
+	s.Sync = msgfilters.New(s.Node2, msgfilters.Config{
+		Topics:  []string{"/f1", "/f2"},
+		Policy:  msgfilters.ApproximateTime{Slop: 80 * sim.Millisecond},
+		ReadET:  []sim.Distribution{et("SC2.1"), et("SC2.2")},
+		FusedET: et("FUSE"),
+		Fused:   func(*msgfilters.FusedContext) { pubF3.Publish(nil) },
+	})
+	s.Node2.CreateSubscription("/clp3", rclcpp.SimpleBody{ET: et("SC4")})
+
+	// node3: T2 -> /t3; T3 -> sv2; CL2 (sv2 response) -> sv3; CL4 (sv3
+	// response) -> /f2.
+	pubT3 := s.Node3.CreatePublisher("/t3")
+	s.Node3.CreateTimer(150*sim.Millisecond, 10*sim.Millisecond, rclcpp.SimpleBody{
+		ET:     et("T2"),
+		Action: func(*rclcpp.CallbackContext) { pubT3.Publish(nil) },
+	})
+	pubF2 := s.Node3.CreatePublisher("/f2")
+	cl4 := s.Node3.CreateClient("sv3", rclcpp.SimpleBody{
+		ET:     et("CL4"),
+		Action: func(*rclcpp.CallbackContext) { pubF2.Publish(nil) },
+	})
+	cl2 := s.Node3.CreateClient("sv2", rclcpp.SimpleBody{
+		ET:     et("CL2"),
+		Action: func(*rclcpp.CallbackContext) { cl4.Call(nil) },
+	})
+	s.Node3.CreateTimer(200*sim.Millisecond, 20*sim.Millisecond, rclcpp.SimpleBody{
+		ET:     et("T3"),
+		Action: func(*rclcpp.CallbackContext) { cl2.Call(nil) },
+	})
+
+	// node5: SC3 (sub /t3) -> sv3; CL3 (sv3 response) -> /clp3.
+	pubCLP3 := s.Node5.CreatePublisher("/clp3")
+	cl3 := s.Node5.CreateClient("sv3", rclcpp.SimpleBody{
+		ET:     et("CL3"),
+		Action: func(*rclcpp.CallbackContext) { pubCLP3.Publish(nil) },
+	})
+	s.Node5.CreateSubscription("/t3", rclcpp.SimpleBody{
+		ET:     et("SC3"),
+		Action: func(*rclcpp.CallbackContext) { cl3.Call(nil) },
+	})
+	return s
+}
+
+// SYNExpectedVertices is the designed vertex count of SYN's DAG: 17
+// callbacks (SV3 split into two caller-specific vertices) plus one AND
+// junction.
+const SYNExpectedVertices = 18
+
+// SYNExpectedEdges is the designed edge count of SYN's DAG.
+const SYNExpectedEdges = 16

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ToDOT renders the DAG in Graphviz format, clustering vertices by node
+// (Fig. 3's presentation: same-node callbacks share a color/border) and
+// annotating edges with topic names and vertices with measured timing.
+func ToDOT(d *DAG, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  labelloc=t;\n  label=%q;\n", title, title)
+
+	byNode := make(map[string][]*Vertex)
+	for _, k := range d.VertexKeys() {
+		v := d.Vertices[k]
+		byNode[v.Node] = append(byNode[v.Node], v)
+	}
+	nodes := make([]string, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	id := func(key string) string {
+		return "v" + strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+				return r
+			default:
+				return '_'
+			}
+		}, key)
+	}
+
+	for i, n := range nodes {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n    style=rounded;\n", i, n)
+		for _, v := range byNode[n] {
+			shape := "box"
+			extra := ""
+			switch {
+			case v.IsAnd:
+				shape = "diamond"
+				extra = "&"
+			case v.OrJunction:
+				extra = "OR"
+			}
+			label := vertexDisplay(v)
+			if extra != "" {
+				label = extra + "\\n" + label
+			}
+			fmt.Fprintf(&b, "    %s [shape=%s, label=\"%s\"];\n", id(v.Key), shape, label)
+		}
+		fmt.Fprintf(&b, "  }\n")
+	}
+	for _, e := range d.Edges() {
+		fmt.Fprintf(&b, "  %s -> %s [label=%q];\n", id(e.From), id(e.To), e.Topic)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func vertexDisplay(v *Vertex) string {
+	if v.IsAnd {
+		return "AND"
+	}
+	var parts []string
+	switch v.Type {
+	case CBTimer:
+		parts = append(parts, fmt.Sprintf("timer %.0fms", v.Period().Milliseconds()))
+	default:
+		parts = append(parts, v.Type.String())
+	}
+	if v.Stats.Count > 0 {
+		parts = append(parts, fmt.Sprintf("et=[%.2f, %.2f, %.2f]ms",
+			v.Stats.BCET().Milliseconds(), v.Stats.ACET().Milliseconds(), v.Stats.WCET().Milliseconds()))
+	}
+	return strings.Join(parts, "\\n")
+}
+
+// jsonDAG is the exported JSON shape.
+type jsonDAG struct {
+	Vertices []jsonVertex `json:"vertices"`
+	Edges    []Edge       `json:"edges"`
+}
+
+type jsonVertex struct {
+	Key        string   `json:"key"`
+	Node       string   `json:"node"`
+	Type       string   `json:"type"`
+	And        bool     `json:"and_junction,omitempty"`
+	Or         bool     `json:"or_junction,omitempty"`
+	Sync       bool     `json:"sync,omitempty"`
+	InTopics   []string `json:"in_topics,omitempty"`
+	OutTopics  []string `json:"out_topics,omitempty"`
+	Count      int      `json:"instances"`
+	BCETMillis float64  `json:"mbcet_ms"`
+	ACETMillis float64  `json:"macet_ms"`
+	WCETMillis float64  `json:"mwcet_ms"`
+	PeriodMs   float64  `json:"period_ms,omitempty"`
+}
+
+// WriteJSON writes the DAG as JSON, suitable as input for external
+// analysis tooling.
+func WriteJSON(w io.Writer, d *DAG) error {
+	out := jsonDAG{Edges: d.Edges()}
+	for _, k := range d.VertexKeys() {
+		v := d.Vertices[k]
+		jv := jsonVertex{
+			Key: v.Key, Node: v.Node, Type: v.Type.String(),
+			And: v.IsAnd, Or: v.OrJunction, Sync: v.IsSync,
+			InTopics: v.InTopics, OutTopics: v.OutTopics,
+			Count:      v.Stats.Count,
+			BCETMillis: v.Stats.BCET().Milliseconds(),
+			ACETMillis: v.Stats.ACET().Milliseconds(),
+			WCETMillis: v.Stats.WCET().Milliseconds(),
+			PeriodMs:   v.Period().Milliseconds(),
+		}
+		if v.IsAnd {
+			jv.Type = "and"
+		}
+		out.Vertices = append(out.Vertices, jv)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Summary renders a text table of the model, one row per vertex.
+func Summary(d *DAG) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s %-10s %6s %10s %10s %10s\n",
+		"vertex", "type", "n", "mBCET(ms)", "mACET(ms)", "mWCET(ms)")
+	for _, k := range d.VertexKeys() {
+		v := d.Vertices[k]
+		typ := v.Type.String()
+		if v.IsAnd {
+			typ = "AND"
+		}
+		if v.OrJunction {
+			typ += "+OR"
+		}
+		fmt.Fprintf(&b, "%-44.44s %-10s %6d %10.2f %10.2f %10.2f\n",
+			v.Label(), typ, v.Stats.Count,
+			v.Stats.BCET().Milliseconds(), v.Stats.ACET().Milliseconds(), v.Stats.WCET().Milliseconds())
+	}
+	fmt.Fprintf(&b, "%d vertices, %d edges\n", len(d.Vertices), len(d.Edges()))
+	return b.String()
+}

@@ -1,0 +1,217 @@
+// Package dds simulates the Data Distribution Service layer (the paper
+// uses Eclipse Cyclone DDS) that carries every ROS2 communication: topic
+// publications, service requests, and service responses.
+//
+// The layer's observable protocol is what matters for timing-model
+// synthesis: dds_write_impl assigns the sample's source timestamp and is
+// probed as P16; delivery to readers happens after a (configurable,
+// seeded-random) transport latency; every reader of a topic receives every
+// sample, including service-response readers in all client nodes of a
+// service, which is the behaviour the paper's client-callback
+// disambiguation (P13/P14) exists to handle.
+package dds
+
+import (
+	"fmt"
+
+	"github.com/tracesynth/rostracer/internal/ebpf"
+	"github.com/tracesynth/rostracer/internal/sim"
+	"github.com/tracesynth/rostracer/internal/umem"
+)
+
+// SymWrite is the probed write function (Table I, P16).
+var SymWrite = ebpf.Symbol{Lib: "cyclonedds", Func: "dds_write_impl"}
+
+// Sample is one unit of data in flight on a topic.
+type Sample struct {
+	Topic     string
+	SrcTS     sim.Time // source timestamp assigned by dds_write_impl
+	WriterPID uint32
+	// Service plumbing: for requests, ClientID identifies the requesting
+	// client object so the response can be routed; Seq is the RPC sequence
+	// number. Zero for plain topic data.
+	ClientID uint64
+	RPCSeq   uint64
+	// Payload is application data (opaque to the middleware).
+	Payload interface{}
+}
+
+// Reader receives samples from a topic. Delivery invokes OnData in the
+// reader process's context; the ROS2 wait-set bridges it to the executor.
+type Reader struct {
+	topic  string
+	pid    uint32
+	OnData func(*Sample)
+}
+
+// Topic returns the topic name.
+func (r *Reader) Topic() string { return r.topic }
+
+// Writer publishes samples on a topic. Each writer owns a small descriptor
+// structure in its process's simulated memory holding a pointer to the
+// topic name; the P16 probe program traverses it, exactly as the real
+// tracer traverses Cyclone DDS writer entities.
+type Writer struct {
+	topic      string
+	pid        uint32
+	domain     *Domain
+	structAddr umem.Addr
+}
+
+// Topic returns the topic name.
+func (w *Writer) Topic() string { return w.topic }
+
+// StructAddr returns the address of the writer descriptor in process
+// memory; exported for the probe-construction layer.
+func (w *Writer) StructAddr() umem.Addr { return w.structAddr }
+
+// WriterStructTopicPtrOff is the byte offset of the topic-name pointer
+// inside the writer descriptor.
+const WriterStructTopicPtrOff = 0
+
+// Domain is one DDS domain: the topic space and transport.
+type Domain struct {
+	eng     *sim.Engine
+	rt      *ebpf.Runtime
+	rng     *sim.RNG
+	readers map[string][]*Reader
+	// Latency models transport delay per delivery. Defaults to a uniform
+	// 20–80 µs, the order of local-loopback DDS latencies.
+	Latency sim.Distribution
+	// CPUOf resolves the CPU a PID currently runs on for probe contexts;
+	// optional (defaults to CPU 0).
+	CPUOf func(pid uint32) int
+
+	writes uint64
+}
+
+// NewDomain creates a domain on eng, firing probes into rt, with transport
+// jitter drawn from rng.
+func NewDomain(eng *sim.Engine, rt *ebpf.Runtime, rng *sim.RNG) *Domain {
+	return &Domain{
+		eng:     eng,
+		rt:      rt,
+		rng:     rng,
+		readers: make(map[string][]*Reader),
+		Latency: sim.Uniform{Min: 20 * sim.Microsecond, Max: 80 * sim.Microsecond},
+	}
+}
+
+// Writes returns the total number of samples written.
+func (d *Domain) Writes() uint64 { return d.writes }
+
+// CreateWriter creates a writer for pid on topic, materializing its
+// descriptor in space.
+func (d *Domain) CreateWriter(pid uint32, space *umem.Space, topic string) *Writer {
+	if topic == "" {
+		panic("dds: empty topic")
+	}
+	nameAddr := space.AllocString(topic)
+	sw := umem.NewStructWriter(space)
+	sw.Ptr(nameAddr) // WriterStructTopicPtrOff
+	addr := sw.Commit()
+	return &Writer{topic: topic, pid: pid, domain: d, structAddr: addr}
+}
+
+// CreateReader subscribes pid to topic; onData runs at delivery time.
+func (d *Domain) CreateReader(pid uint32, topic string, onData func(*Sample)) *Reader {
+	r := &Reader{topic: topic, pid: pid, OnData: onData}
+	d.readers[topic] = append(d.readers[topic], r)
+	return r
+}
+
+// RemoveReader detaches r from its topic.
+func (d *Domain) RemoveReader(r *Reader) {
+	list := d.readers[r.topic]
+	for i, x := range list {
+		if x == r {
+			d.readers[r.topic] = append(list[:i:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// ReaderCount reports the number of readers on a topic.
+func (d *Domain) ReaderCount(topic string) int { return len(d.readers[topic]) }
+
+// Write publishes a sample: it stamps the source timestamp, fires P16 in
+// the writer's process context, and schedules delivery to every reader of
+// the topic.
+func (w *Writer) Write(payload interface{}, clientID, rpcSeq uint64) *Sample {
+	d := w.domain
+	now := d.eng.Now()
+	s := &Sample{
+		Topic:     w.topic,
+		SrcTS:     now,
+		WriterPID: w.pid,
+		ClientID:  clientID,
+		RPCSeq:    rpcSeq,
+		Payload:   payload,
+	}
+	d.writes++
+
+	// dds_write_impl(writer, data, timestamp): probe P16 reads the topic
+	// name through the writer descriptor and the source timestamp from the
+	// third argument.
+	cpu := 0
+	if d.CPUOf != nil {
+		cpu = d.CPUOf(w.pid)
+	}
+	d.rt.FireUprobe(w.pid, cpu, SymWrite, uint64(w.structAddr), 0, uint64(s.SrcTS))
+
+	for _, r := range d.readers[w.topic] {
+		r := r
+		delay := d.Latency.Sample(d.rng)
+		if delay < 0 {
+			delay = 0
+		}
+		d.eng.After(delay, func() {
+			if r.OnData != nil {
+				r.OnData(s)
+			}
+		})
+	}
+	return s
+}
+
+// ServiceRequestTopic returns the DDS topic carrying requests of a
+// service, following the rmw naming convention.
+func ServiceRequestTopic(service string) string { return "rq/" + service + "Request" }
+
+// ServiceResponseTopic returns the DDS topic carrying responses of a
+// service.
+func ServiceResponseTopic(service string) string { return "rr/" + service + "Reply" }
+
+// IsRequestTopic reports whether topic carries service requests.
+func IsRequestTopic(topic string) bool {
+	return len(topic) > 3 && topic[:3] == "rq/"
+}
+
+// IsResponseTopic reports whether topic carries service responses.
+func IsResponseTopic(topic string) bool {
+	return len(topic) > 3 && topic[:3] == "rr/"
+}
+
+// ServiceOfTopic extracts the service name from a request or response
+// topic, or returns the empty string.
+func ServiceOfTopic(topic string) string {
+	switch {
+	case IsRequestTopic(topic):
+		return topic[3 : len(topic)-len("Request")]
+	case IsResponseTopic(topic):
+		return topic[3 : len(topic)-len("Reply")]
+	}
+	return ""
+}
+
+func init() {
+	// Sanity: request/response classification must round-trip.
+	for _, svc := range []string{"sv", "motion/plan"} {
+		if ServiceOfTopic(ServiceRequestTopic(svc)) != svc {
+			panic(fmt.Sprintf("dds: request topic round-trip broken for %q", svc))
+		}
+		if ServiceOfTopic(ServiceResponseTopic(svc)) != svc {
+			panic(fmt.Sprintf("dds: response topic round-trip broken for %q", svc))
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package dds
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tracesynth/rostracer/internal/ebpf"
+	"github.com/tracesynth/rostracer/internal/sim"
+	"github.com/tracesynth/rostracer/internal/umem"
+)
+
+func newTestDomain() (*sim.Engine, *Domain) {
+	eng := sim.NewEngine()
+	rt := ebpf.NewRuntime(func() int64 { return int64(eng.Now()) }, nil)
+	d := NewDomain(eng, rt, sim.NewRNG(1))
+	return eng, d
+}
+
+func TestWriteDeliversToAllReaders(t *testing.T) {
+	eng, d := newTestDomain()
+	space := umem.NewSpace(1)
+	w := d.CreateWriter(1, space, "/x")
+
+	got := make(map[int]int)
+	for i := 0; i < 3; i++ {
+		i := i
+		d.CreateReader(uint32(10+i), "/x", func(s *Sample) { got[i]++ })
+	}
+	w.Write("payload", 0, 0)
+	w.Write("payload", 0, 0)
+	eng.Run(sim.MaxTime)
+
+	for i := 0; i < 3; i++ {
+		if got[i] != 2 {
+			t.Errorf("reader %d received %d samples, want 2", i, got[i])
+		}
+	}
+	if d.Writes() != 2 {
+		t.Errorf("writes = %d", d.Writes())
+	}
+}
+
+func TestSrcTSAssignedAtWriteTime(t *testing.T) {
+	eng, d := newTestDomain()
+	space := umem.NewSpace(1)
+	w := d.CreateWriter(1, space, "/x")
+	var deliveredAt sim.Time
+	var srcTS sim.Time
+	d.CreateReader(2, "/x", func(s *Sample) {
+		deliveredAt = eng.Now()
+		srcTS = s.SrcTS
+	})
+	eng.At(500, func() { w.Write(nil, 0, 0) })
+	eng.Run(sim.MaxTime)
+	if srcTS != 500 {
+		t.Errorf("srcTS = %v, want 500 (write time)", srcTS)
+	}
+	if deliveredAt <= srcTS {
+		t.Errorf("delivery at %v not after write %v (transport latency)", deliveredAt, srcTS)
+	}
+}
+
+func TestDeliveryRespectsLatencyModel(t *testing.T) {
+	eng, d := newTestDomain()
+	d.Latency = sim.Constant{Value: 5 * sim.Millisecond}
+	space := umem.NewSpace(1)
+	w := d.CreateWriter(1, space, "/x")
+	var at sim.Time
+	d.CreateReader(2, "/x", func(*Sample) { at = eng.Now() })
+	w.Write(nil, 0, 0)
+	eng.Run(sim.MaxTime)
+	if at != sim.Time(5*sim.Millisecond) {
+		t.Errorf("delivered at %v", at)
+	}
+}
+
+func TestRemoveReader(t *testing.T) {
+	eng, d := newTestDomain()
+	space := umem.NewSpace(1)
+	w := d.CreateWriter(1, space, "/x")
+	n := 0
+	r := d.CreateReader(2, "/x", func(*Sample) { n++ })
+	w.Write(nil, 0, 0)
+	eng.Run(sim.MaxTime)
+	d.RemoveReader(r)
+	if d.ReaderCount("/x") != 0 {
+		t.Fatal("reader not removed")
+	}
+	w.Write(nil, 0, 0)
+	eng.Run(sim.MaxTime)
+	if n != 1 {
+		t.Errorf("deliveries = %d, want 1", n)
+	}
+}
+
+func TestWriteFiresP16WithTopicAndSrcTS(t *testing.T) {
+	eng := sim.NewEngine()
+	spaces := map[uint32]*umem.Space{7: umem.NewSpace(7)}
+	rt := ebpf.NewRuntime(func() int64 { return int64(eng.Now()) },
+		func(pid uint32) *umem.Space { return spaces[pid] })
+	d := NewDomain(eng, rt, sim.NewRNG(1))
+
+	// Attach a program reading the writer struct's topic pointer.
+	pb := ebpf.NewPerfBuffer("out", 0)
+	fd := rt.RegisterMap(pb)
+	a := ebpf.NewAssembler("p16ish")
+	a.LdxCtx(ebpf.R6, ebpf.R1, 0)
+	a.LdxCtx(ebpf.R7, ebpf.R1, 2)
+	a.MovReg(ebpf.R1, ebpf.R10).AddImm(ebpf.R1, -72).MovImm(ebpf.R2, 8).MovReg(ebpf.R3, ebpf.R6)
+	a.Call(ebpf.HelperProbeRead)
+	a.LdxStack(ebpf.R9, ebpf.R10, -72, 8)
+	a.MovReg(ebpf.R1, ebpf.R10).AddImm(ebpf.R1, -64).MovImm(ebpf.R2, 64).MovReg(ebpf.R3, ebpf.R9)
+	a.Call(ebpf.HelperProbeReadStr)
+	a.StxStack(ebpf.R10, -72, ebpf.R7, 8)
+	a.MovImm(ebpf.R1, fd).MovReg(ebpf.R2, ebpf.R10).AddImm(ebpf.R2, -72).MovImm(ebpf.R3, 72)
+	a.Call(ebpf.HelperPerfOutput)
+	a.MovImm(ebpf.R0, 0).Exit()
+	p := a.MustAssemble()
+	if err := rt.Load(p, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.AttachUprobe(SymWrite, p); err != nil {
+		t.Fatal(err)
+	}
+
+	w := d.CreateWriter(7, spaces[7], "motion/cmd")
+	eng.At(1234, func() { w.Write(nil, 0, 0) })
+	eng.Run(sim.MaxTime)
+
+	recs := pb.Drain()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	// fp-72 holds srcTS; fp-64.. holds topic string.
+	srcTS := int64(recs[0].Data[0]) | int64(recs[0].Data[1])<<8
+	if srcTS != 1234 {
+		t.Errorf("srcTS = %d", srcTS)
+	}
+	topic := recs[0].Data[8:]
+	n := 0
+	for n < len(topic) && topic[n] != 0 {
+		n++
+	}
+	if string(topic[:n]) != "motion/cmd" {
+		t.Errorf("topic = %q", topic[:n])
+	}
+}
+
+func TestServiceTopicNaming(t *testing.T) {
+	cases := []struct {
+		svc  string
+		req  string
+		resp string
+	}{
+		{"sv1", "rq/sv1Request", "rr/sv1Reply"},
+		{"motion/plan", "rq/motion/planRequest", "rr/motion/planReply"},
+	}
+	for _, c := range cases {
+		if got := ServiceRequestTopic(c.svc); got != c.req {
+			t.Errorf("request topic %q", got)
+		}
+		if got := ServiceResponseTopic(c.svc); got != c.resp {
+			t.Errorf("response topic %q", got)
+		}
+		if !IsRequestTopic(c.req) || IsResponseTopic(c.req) {
+			t.Errorf("classification of %q wrong", c.req)
+		}
+		if !IsResponseTopic(c.resp) || IsRequestTopic(c.resp) {
+			t.Errorf("classification of %q wrong", c.resp)
+		}
+		if ServiceOfTopic(c.req) != c.svc || ServiceOfTopic(c.resp) != c.svc {
+			t.Errorf("service extraction broken for %q", c.svc)
+		}
+	}
+	if ServiceOfTopic("/plain") != "" {
+		t.Error("plain topic classified as service")
+	}
+}
+
+func TestServiceTopicRoundTripProperty(t *testing.T) {
+	f := func(name string) bool {
+		if name == "" || len(name) > 100 {
+			return true
+		}
+		return ServiceOfTopic(ServiceRequestTopic(name)) == name &&
+			ServiceOfTopic(ServiceResponseTopic(name)) == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyTopicPanics(t *testing.T) {
+	_, d := newTestDomain()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty topic")
+		}
+	}()
+	d.CreateWriter(1, umem.NewSpace(1), "")
+}

@@ -1,0 +1,221 @@
+package ebpf
+
+import "fmt"
+
+// Assembler builds Programs with symbolic labels. Jump targets are named;
+// Assemble resolves them to forward displacements and fails if a jump would
+// go backwards, so any program it emits can pass the verifier's
+// termination rule.
+type Assembler struct {
+	name   string
+	insns  []Instruction
+	labels map[string]int // label -> instruction index it precedes
+	fixups map[int]string // instruction index -> unresolved label
+	errs   []error
+}
+
+// NewAssembler starts a program named name.
+func NewAssembler(name string) *Assembler {
+	return &Assembler{
+		name:   name,
+		labels: make(map[string]int),
+		fixups: make(map[int]string),
+	}
+}
+
+func (a *Assembler) emit(in Instruction) *Assembler {
+	a.insns = append(a.insns, in)
+	return a
+}
+
+// Label marks the position of the next instruction.
+func (a *Assembler) Label(name string) *Assembler {
+	if _, dup := a.labels[name]; dup {
+		a.errs = append(a.errs, fmt.Errorf("asm: duplicate label %q", name))
+	}
+	a.labels[name] = len(a.insns)
+	return a
+}
+
+// MovImm: dst = imm.
+func (a *Assembler) MovImm(dst Reg, imm int64) *Assembler {
+	return a.emit(Instruction{Op: OpMovImm, Dst: dst, Imm: imm})
+}
+
+// MovReg: dst = src.
+func (a *Assembler) MovReg(dst, src Reg) *Assembler {
+	return a.emit(Instruction{Op: OpMovReg, Dst: dst, Src: src})
+}
+
+// AddImm: dst += imm.
+func (a *Assembler) AddImm(dst Reg, imm int64) *Assembler {
+	return a.emit(Instruction{Op: OpAddImm, Dst: dst, Imm: imm})
+}
+
+// AddReg: dst += src.
+func (a *Assembler) AddReg(dst, src Reg) *Assembler {
+	return a.emit(Instruction{Op: OpAddReg, Dst: dst, Src: src})
+}
+
+// SubImm: dst -= imm.
+func (a *Assembler) SubImm(dst Reg, imm int64) *Assembler {
+	return a.emit(Instruction{Op: OpSubImm, Dst: dst, Imm: imm})
+}
+
+// SubReg: dst -= src.
+func (a *Assembler) SubReg(dst, src Reg) *Assembler {
+	return a.emit(Instruction{Op: OpSubReg, Dst: dst, Src: src})
+}
+
+// MulImm: dst *= imm.
+func (a *Assembler) MulImm(dst Reg, imm int64) *Assembler {
+	return a.emit(Instruction{Op: OpMulImm, Dst: dst, Imm: imm})
+}
+
+// DivImm: dst /= imm (0 if imm is 0).
+func (a *Assembler) DivImm(dst Reg, imm int64) *Assembler {
+	return a.emit(Instruction{Op: OpDivImm, Dst: dst, Imm: imm})
+}
+
+// DivReg: dst /= src (0 if src is 0).
+func (a *Assembler) DivReg(dst, src Reg) *Assembler {
+	return a.emit(Instruction{Op: OpDivReg, Dst: dst, Src: src})
+}
+
+// ModImm: dst %= imm (0 if imm is 0).
+func (a *Assembler) ModImm(dst Reg, imm int64) *Assembler {
+	return a.emit(Instruction{Op: OpModImm, Dst: dst, Imm: imm})
+}
+
+// AndImm: dst &= imm.
+func (a *Assembler) AndImm(dst Reg, imm int64) *Assembler {
+	return a.emit(Instruction{Op: OpAndImm, Dst: dst, Imm: imm})
+}
+
+// OrImm: dst |= imm.
+func (a *Assembler) OrImm(dst Reg, imm int64) *Assembler {
+	return a.emit(Instruction{Op: OpOrImm, Dst: dst, Imm: imm})
+}
+
+// XorReg: dst ^= src.
+func (a *Assembler) XorReg(dst, src Reg) *Assembler {
+	return a.emit(Instruction{Op: OpXorReg, Dst: dst, Src: src})
+}
+
+// LshImm: dst <<= imm.
+func (a *Assembler) LshImm(dst Reg, imm int64) *Assembler {
+	return a.emit(Instruction{Op: OpLshImm, Dst: dst, Imm: imm})
+}
+
+// RshImm: dst >>= imm (logical).
+func (a *Assembler) RshImm(dst Reg, imm int64) *Assembler {
+	return a.emit(Instruction{Op: OpRshImm, Dst: dst, Imm: imm})
+}
+
+// LdxCtx: dst = ctx[word]; src must hold the context pointer.
+func (a *Assembler) LdxCtx(dst, src Reg, word int) *Assembler {
+	return a.emit(Instruction{Op: OpLdxCtx, Dst: dst, Src: src, Off: int32(word * 8)})
+}
+
+// LdxStack: dst = *(size*)(src+off).
+func (a *Assembler) LdxStack(dst, src Reg, off int32, size uint8) *Assembler {
+	return a.emit(Instruction{Op: OpLdxStack, Dst: dst, Src: src, Off: off, Size: size})
+}
+
+// StxStack: *(size*)(dst+off) = src.
+func (a *Assembler) StxStack(dst Reg, off int32, src Reg, size uint8) *Assembler {
+	return a.emit(Instruction{Op: OpStxStack, Dst: dst, Src: src, Off: off, Size: size})
+}
+
+// StImmStack: *(size*)(dst+off) = imm.
+func (a *Assembler) StImmStack(dst Reg, off int32, imm int64, size uint8) *Assembler {
+	return a.emit(Instruction{Op: OpStImmStack, Dst: dst, Off: off, Imm: imm, Size: size})
+}
+
+func (a *Assembler) jump(op Op, dst, src Reg, imm int64, label string) *Assembler {
+	a.fixups[len(a.insns)] = label
+	return a.emit(Instruction{Op: op, Dst: dst, Src: src, Imm: imm})
+}
+
+// Ja: unconditional forward jump to label.
+func (a *Assembler) Ja(label string) *Assembler { return a.jump(OpJa, 0, 0, 0, label) }
+
+// JeqImm jumps to label if dst == imm.
+func (a *Assembler) JeqImm(dst Reg, imm int64, label string) *Assembler {
+	return a.jump(OpJeqImm, dst, 0, imm, label)
+}
+
+// JneImm jumps to label if dst != imm.
+func (a *Assembler) JneImm(dst Reg, imm int64, label string) *Assembler {
+	return a.jump(OpJneImm, dst, 0, imm, label)
+}
+
+// JgtImm jumps to label if dst > imm (unsigned).
+func (a *Assembler) JgtImm(dst Reg, imm int64, label string) *Assembler {
+	return a.jump(OpJgtImm, dst, 0, imm, label)
+}
+
+// JgeImm jumps to label if dst >= imm (unsigned).
+func (a *Assembler) JgeImm(dst Reg, imm int64, label string) *Assembler {
+	return a.jump(OpJgeImm, dst, 0, imm, label)
+}
+
+// JltImm jumps to label if dst < imm (unsigned).
+func (a *Assembler) JltImm(dst Reg, imm int64, label string) *Assembler {
+	return a.jump(OpJltImm, dst, 0, imm, label)
+}
+
+// JleImm jumps to label if dst <= imm (unsigned).
+func (a *Assembler) JleImm(dst Reg, imm int64, label string) *Assembler {
+	return a.jump(OpJleImm, dst, 0, imm, label)
+}
+
+// JeqReg jumps to label if dst == src.
+func (a *Assembler) JeqReg(dst, src Reg, label string) *Assembler {
+	return a.jump(OpJeqReg, dst, src, 0, label)
+}
+
+// JneReg jumps to label if dst != src.
+func (a *Assembler) JneReg(dst, src Reg, label string) *Assembler {
+	return a.jump(OpJneReg, dst, src, 0, label)
+}
+
+// Call invokes a helper.
+func (a *Assembler) Call(h HelperID) *Assembler {
+	return a.emit(Instruction{Op: OpCall, Imm: int64(h)})
+}
+
+// Exit terminates the program; r0 is the return value.
+func (a *Assembler) Exit() *Assembler { return a.emit(Instruction{Op: OpExit}) }
+
+// Assemble resolves labels and returns the program. It fails on undefined
+// labels, duplicate labels, or backward jumps.
+func (a *Assembler) Assemble() (*Program, error) {
+	if len(a.errs) > 0 {
+		return nil, a.errs[0]
+	}
+	insns := make([]Instruction, len(a.insns))
+	copy(insns, a.insns)
+	for idx, label := range a.fixups {
+		target, ok := a.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", label)
+		}
+		disp := target - (idx + 1)
+		if disp < 0 {
+			return nil, fmt.Errorf("asm: backward jump to %q at insn %d", label, idx)
+		}
+		insns[idx].Off = int32(disp)
+	}
+	return &Program{Name: a.name, Insns: insns}, nil
+}
+
+// MustAssemble is Assemble that panics on error; for use in program
+// constructors whose inputs are compile-time constants.
+func (a *Assembler) MustAssemble() *Program {
+	p, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,183 @@
+package ebpf
+
+import "fmt"
+
+// Map is a BPF map reachable from programs by fd. All maps in this substrate
+// carry 64-bit keys and values, which is sufficient for the tracers: they
+// store PIDs, callback handles and user-space addresses.
+type Map interface {
+	Name() string
+	Lookup(key uint64) (uint64, bool)
+	Update(key, value uint64) error
+	Delete(key uint64)
+}
+
+// HashMap is a BPF_MAP_TYPE_HASH equivalent with a capacity bound.
+type HashMap struct {
+	name       string
+	maxEntries int
+	m          map[uint64]uint64
+}
+
+// NewHashMap creates a hash map holding at most maxEntries entries.
+func NewHashMap(name string, maxEntries int) *HashMap {
+	if maxEntries <= 0 {
+		maxEntries = 1024
+	}
+	return &HashMap{name: name, maxEntries: maxEntries, m: make(map[uint64]uint64)}
+}
+
+// Name implements Map.
+func (h *HashMap) Name() string { return h.name }
+
+// Lookup implements Map.
+func (h *HashMap) Lookup(key uint64) (uint64, bool) {
+	v, ok := h.m[key]
+	return v, ok
+}
+
+// Update implements Map. Inserting beyond capacity fails like the kernel's
+// E2BIG.
+func (h *HashMap) Update(key, value uint64) error {
+	if _, exists := h.m[key]; !exists && len(h.m) >= h.maxEntries {
+		return fmt.Errorf("ebpf: map %q full (%d entries)", h.name, h.maxEntries)
+	}
+	h.m[key] = value
+	return nil
+}
+
+// Delete implements Map.
+func (h *HashMap) Delete(key uint64) { delete(h.m, key) }
+
+// Len reports the number of live entries.
+func (h *HashMap) Len() int { return len(h.m) }
+
+// Keys returns the current keys in unspecified order (user-space side
+// iteration, as bpf map dump does).
+func (h *HashMap) Keys() []uint64 {
+	out := make([]uint64, 0, len(h.m))
+	for k := range h.m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// ArrayMap is a BPF_MAP_TYPE_ARRAY equivalent: fixed-size, zero-initialized.
+type ArrayMap struct {
+	name string
+	vals []uint64
+}
+
+// NewArrayMap creates an array map with n slots.
+func NewArrayMap(name string, n int) *ArrayMap {
+	return &ArrayMap{name: name, vals: make([]uint64, n)}
+}
+
+// Name implements Map.
+func (a *ArrayMap) Name() string { return a.name }
+
+// Lookup implements Map; out-of-range keys miss.
+func (a *ArrayMap) Lookup(key uint64) (uint64, bool) {
+	if key >= uint64(len(a.vals)) {
+		return 0, false
+	}
+	return a.vals[key], true
+}
+
+// Update implements Map.
+func (a *ArrayMap) Update(key, value uint64) error {
+	if key >= uint64(len(a.vals)) {
+		return fmt.Errorf("ebpf: array map %q index %d out of range", a.name, key)
+	}
+	a.vals[key] = value
+	return nil
+}
+
+// Delete implements Map: array entries are zeroed, not removed.
+func (a *ArrayMap) Delete(key uint64) {
+	if key < uint64(len(a.vals)) {
+		a.vals[key] = 0
+	}
+}
+
+// PerfRecord is one record emitted through perf_event_output.
+type PerfRecord struct {
+	CPU  int
+	Time int64  // virtual ns at emission
+	Seq  uint64 // global emission order (see SharedSeq)
+	Data []byte
+}
+
+// PerfBuffer is a BPF_MAP_TYPE_PERF_EVENT_ARRAY equivalent. Programs write
+// records; the user-space tracer drains them. A capacity bound models real
+// ring-buffer overruns: records beyond it are counted as lost.
+type PerfBuffer struct {
+	name     string
+	capacity int
+	seq      *uint64 // shared emission counter; may be nil
+	records  []PerfRecord
+	lost     uint64
+	bytes    uint64
+}
+
+// NewPerfBuffer creates a perf buffer holding at most capacity undrained
+// records (0 means unbounded).
+func NewPerfBuffer(name string, capacity int) *PerfBuffer {
+	return &PerfBuffer{name: name, capacity: capacity}
+}
+
+// NewPerfBufferSeq creates a perf buffer whose records are stamped from a
+// shared emission counter. Buffers sharing one counter produce records
+// whose Seq values define a global order even for identical timestamps,
+// which the trace merger relies on.
+func NewPerfBufferSeq(name string, capacity int, seq *uint64) *PerfBuffer {
+	return &PerfBuffer{name: name, capacity: capacity, seq: seq}
+}
+
+// Name implements Map.
+func (p *PerfBuffer) Name() string { return p.name }
+
+// Lookup implements Map; perf buffers are not lookupable from programs.
+func (p *PerfBuffer) Lookup(uint64) (uint64, bool) { return 0, false }
+
+// Update implements Map; direct updates are invalid.
+func (p *PerfBuffer) Update(uint64, uint64) error {
+	return fmt.Errorf("ebpf: perf buffer %q does not support update", p.name)
+}
+
+// Delete implements Map; no-op.
+func (p *PerfBuffer) Delete(uint64) {}
+
+// Emit appends a record (called by the perf_event_output helper).
+func (p *PerfBuffer) Emit(cpu int, now int64, data []byte) {
+	if p.capacity > 0 && len(p.records) >= p.capacity {
+		p.lost++
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	rec := PerfRecord{CPU: cpu, Time: now, Data: cp}
+	if p.seq != nil {
+		rec.Seq = *p.seq
+		*p.seq++
+	}
+	p.records = append(p.records, rec)
+	p.bytes += uint64(len(data))
+}
+
+// Drain returns and clears the pending records.
+func (p *PerfBuffer) Drain() []PerfRecord {
+	out := p.records
+	p.records = nil
+	return out
+}
+
+// Lost reports how many records were dropped due to capacity.
+func (p *PerfBuffer) Lost() uint64 { return p.lost }
+
+// Bytes reports the cumulative payload bytes emitted (drained or not);
+// the overhead experiment uses it as the trace-volume measure.
+func (p *PerfBuffer) Bytes() uint64 { return p.bytes }
+
+// Pending reports the number of undrained records.
+func (p *PerfBuffer) Pending() int { return len(p.records) }

@@ -1,0 +1,331 @@
+package ebpf
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tracesynth/rostracer/internal/umem"
+)
+
+// Symbol identifies a probeable user-space function: a shared object and a
+// function name, e.g. {"rclcpp", "execute_subscription"}.
+type Symbol struct {
+	Lib  string
+	Func string
+}
+
+func (s Symbol) String() string { return s.Lib + ":" + s.Func }
+
+// AttachKind distinguishes entry probes, return probes and kernel
+// tracepoints.
+type AttachKind uint8
+
+// Attachment kinds.
+const (
+	AttachUprobe AttachKind = iota
+	AttachUretprobe
+	AttachTracepoint
+)
+
+func (k AttachKind) String() string {
+	switch k {
+	case AttachUprobe:
+		return "uprobe"
+	case AttachUretprobe:
+		return "uretprobe"
+	default:
+		return "tracepoint"
+	}
+}
+
+type attachment struct {
+	prog *Program
+	id   int
+}
+
+// RuntimeStats aggregates the cost of all program executions, mirroring
+// what `bpftool prog show` reports (run count and cumulative runtime).
+type RuntimeStats struct {
+	Runs        uint64
+	Insns       uint64
+	FaultedRuns uint64
+}
+
+// Runtime owns loaded programs, maps, and attachments, and dispatches probe
+// firings from the simulated middleware and kernel. It corresponds to the
+// in-kernel BPF machinery plus the BCC loader in Fig. 1 of the paper.
+type Runtime struct {
+	vm     *VM
+	maps   map[int64]Map
+	nextFD int64
+
+	uprobes     map[Symbol][]attachment
+	uretprobes  map[Symbol][]attachment
+	tracepoints map[string][]attachment
+	nextAttach  int
+
+	// clock returns the current virtual time; injected by the simulation.
+	clock func() int64
+	// spaces resolves a PID to its simulated address space.
+	spaces func(pid uint32) *umem.Space
+
+	stats     RuntimeStats
+	perInsnNs float64 // simulated cost of one interpreted instruction
+	costNs    float64 // accumulated simulated tracing cost
+
+	nativeHooks  map[Symbol][]nativeAttachment
+	nativeCostNs float64
+}
+
+// NewRuntime creates a runtime. clock supplies virtual time; spaces maps a
+// PID to its address space (either may be nil for unit tests).
+func NewRuntime(clock func() int64, spaces func(pid uint32) *umem.Space) *Runtime {
+	rt := &Runtime{
+		maps:        make(map[int64]Map),
+		nextFD:      3, // fds 0-2 are taken, as in a real process
+		uprobes:     make(map[Symbol][]attachment),
+		uretprobes:  make(map[Symbol][]attachment),
+		tracepoints: make(map[string][]attachment),
+		clock:       clock,
+		spaces:      spaces,
+		// ~4 ns per interpreted instruction: the order of magnitude of a
+		// JITed eBPF instruction plus map-helper amortization.
+		perInsnNs: 4,
+	}
+	rt.vm = NewVM(rt.maps)
+	return rt
+}
+
+// SetPerInsnCost overrides the simulated per-instruction cost in
+// nanoseconds (for the overhead sensitivity experiment).
+func (rt *Runtime) SetPerInsnCost(ns float64) { rt.perInsnNs = ns }
+
+// RegisterMap installs m and returns its fd.
+func (rt *Runtime) RegisterMap(m Map) int64 {
+	fd := rt.nextFD
+	rt.nextFD++
+	rt.maps[fd] = m
+	return fd
+}
+
+// MapByFD returns the map registered under fd, or nil.
+func (rt *Runtime) MapByFD(fd int64) Map { return rt.maps[fd] }
+
+// Load verifies p for an attach point exposing ctxWords context words.
+// It must be called before Attach.
+func (rt *Runtime) Load(p *Program, ctxWords int) error {
+	return Verify(p, VerifyOptions{CtxWords: ctxWords, LookupMap: rt.MapByFD})
+}
+
+// AttachUprobe attaches p to the entry of sym. The program must be loaded.
+func (rt *Runtime) AttachUprobe(sym Symbol, p *Program) (int, error) {
+	return rt.attach(AttachUprobe, sym, "", p)
+}
+
+// AttachUretprobe attaches p to the return of sym.
+func (rt *Runtime) AttachUretprobe(sym Symbol, p *Program) (int, error) {
+	return rt.attach(AttachUretprobe, sym, "", p)
+}
+
+// AttachTracepoint attaches p to a kernel tracepoint such as
+// "sched:sched_switch".
+func (rt *Runtime) AttachTracepoint(name string, p *Program) (int, error) {
+	return rt.attach(AttachTracepoint, Symbol{}, name, p)
+}
+
+func (rt *Runtime) attach(kind AttachKind, sym Symbol, tp string, p *Program) (int, error) {
+	if p == nil {
+		return 0, fmt.Errorf("ebpf: attach of nil program")
+	}
+	if !p.verified {
+		return 0, fmt.Errorf("ebpf: program %q not verified", p.Name)
+	}
+	id := rt.nextAttach
+	rt.nextAttach++
+	at := attachment{prog: p, id: id}
+	switch kind {
+	case AttachUprobe:
+		rt.uprobes[sym] = append(rt.uprobes[sym], at)
+	case AttachUretprobe:
+		rt.uretprobes[sym] = append(rt.uretprobes[sym], at)
+	case AttachTracepoint:
+		rt.tracepoints[tp] = append(rt.tracepoints[tp], at)
+	}
+	return id, nil
+}
+
+// Detach removes an attachment by id. It reports whether it was found.
+func (rt *Runtime) Detach(id int) bool {
+	remove := func(m map[Symbol][]attachment) bool {
+		for k, list := range m {
+			for i, at := range list {
+				if at.id == id {
+					m[k] = append(list[:i:i], list[i+1:]...)
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if remove(rt.uprobes) || remove(rt.uretprobes) {
+		return true
+	}
+	for k, list := range rt.tracepoints {
+		for i, at := range list {
+			if at.id == id {
+				rt.tracepoints[k] = append(list[:i:i], list[i+1:]...)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DetachAll removes every attachment (end of a tracing session).
+func (rt *Runtime) DetachAll() {
+	rt.uprobes = make(map[Symbol][]attachment)
+	rt.uretprobes = make(map[Symbol][]attachment)
+	rt.tracepoints = make(map[string][]attachment)
+}
+
+// Attachments lists currently attached program names, sorted, for
+// diagnostics.
+func (rt *Runtime) Attachments() []string {
+	var out []string
+	for sym, list := range rt.uprobes {
+		for _, at := range list {
+			out = append(out, fmt.Sprintf("uprobe:%s -> %s", sym, at.prog.Name))
+		}
+	}
+	for sym, list := range rt.uretprobes {
+		for _, at := range list {
+			out = append(out, fmt.Sprintf("uretprobe:%s -> %s", sym, at.prog.Name))
+		}
+	}
+	for tp, list := range rt.tracepoints {
+		for _, at := range list {
+			out = append(out, fmt.Sprintf("tracepoint:%s -> %s", tp, at.prog.Name))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (rt *Runtime) execCtx(pid uint32, cpu int, words []uint64) *ExecContext {
+	var now int64
+	if rt.clock != nil {
+		now = rt.clock()
+	}
+	var mem *umem.Space
+	if rt.spaces != nil {
+		mem = rt.spaces(pid)
+	}
+	return &ExecContext{PID: pid, CPU: cpu, NowNs: now, Words: words, Mem: mem}
+}
+
+func (rt *Runtime) run(list []attachment, ctx *ExecContext) {
+	for _, at := range list {
+		res, err := rt.vm.Run(at.prog, ctx)
+		rt.stats.Runs++
+		rt.stats.Insns += uint64(res.Insns)
+		rt.costNs += float64(res.Insns) * rt.perInsnNs
+		if err != nil {
+			// A faulting program is dropped from accounting but must not
+			// crash the traced application, as in the kernel.
+			rt.stats.FaultedRuns++
+		}
+	}
+}
+
+// FireUprobe is called by the simulated middleware at a function's entry.
+// args become ctx words 0..n-1.
+func (rt *Runtime) FireUprobe(pid uint32, cpu int, sym Symbol, args ...uint64) {
+	if list := rt.uprobes[sym]; len(list) > 0 {
+		rt.run(list, rt.execCtx(pid, cpu, args))
+	}
+	if len(rt.nativeHooks[sym]) > 0 {
+		rt.runNative(sym, rt.execCtx(pid, cpu, args))
+	}
+}
+
+// FireUretprobe is called at a function's return; ret becomes ctx word 0
+// and the entry args follow in words 1..n.
+func (rt *Runtime) FireUretprobe(pid uint32, cpu int, sym Symbol, ret uint64, args ...uint64) {
+	if list := rt.uretprobes[sym]; len(list) > 0 {
+		words := append([]uint64{ret}, args...)
+		rt.run(list, rt.execCtx(pid, cpu, words))
+	}
+}
+
+// FireTracepoint is called by the simulated kernel; fields are the
+// tracepoint's record in declaration order.
+func (rt *Runtime) FireTracepoint(name string, cpu int, fields ...uint64) {
+	if list := rt.tracepoints[name]; len(list) > 0 {
+		rt.run(list, rt.execCtx(0, cpu, fields))
+	}
+}
+
+// Stats returns cumulative execution statistics.
+func (rt *Runtime) Stats() RuntimeStats { return rt.stats }
+
+// CostNs returns the simulated CPU nanoseconds consumed by probe programs,
+// the numerator of the paper's "0.008 CPU cores" overhead figure.
+func (rt *Runtime) CostNs() float64 { return rt.costNs }
+
+// ResetCost zeroes the stats and cost accumulators (per-experiment).
+func (rt *Runtime) ResetCost() {
+	rt.stats = RuntimeStats{}
+	rt.costNs = 0
+	rt.nativeCostNs = 0
+}
+
+// NativeHook is user-space instrumentation invoked synchronously at a
+// probe site, modeling LD_PRELOAD-style function redirection (the CARET
+// approach the paper compares against in Sec. II-B): the call is diverted
+// to a tracing shim which must resolve and invoke the original symbol,
+// which costs a fixed overhead per invocation on top of the event
+// handling itself.
+type NativeHook struct {
+	Fn     func(ctx *ExecContext)
+	CostNs float64 // per-invocation redirection + handling cost
+}
+
+// AttachNativeHook registers hook at sym's entry. It returns an id usable
+// with DetachNativeHook.
+func (rt *Runtime) AttachNativeHook(sym Symbol, hook NativeHook) int {
+	if rt.nativeHooks == nil {
+		rt.nativeHooks = make(map[Symbol][]nativeAttachment)
+	}
+	id := rt.nextAttach
+	rt.nextAttach++
+	rt.nativeHooks[sym] = append(rt.nativeHooks[sym], nativeAttachment{hook: hook, id: id})
+	return id
+}
+
+// DetachNativeHook removes a native hook by id.
+func (rt *Runtime) DetachNativeHook(id int) bool {
+	for k, list := range rt.nativeHooks {
+		for i, at := range list {
+			if at.id == id {
+				rt.nativeHooks[k] = append(list[:i:i], list[i+1:]...)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NativeCostNs returns the simulated cost accumulated by native hooks.
+func (rt *Runtime) NativeCostNs() float64 { return rt.nativeCostNs }
+
+type nativeAttachment struct {
+	hook NativeHook
+	id   int
+}
+
+func (rt *Runtime) runNative(sym Symbol, ctx *ExecContext) {
+	for _, at := range rt.nativeHooks[sym] {
+		at.hook.Fn(ctx)
+		rt.nativeCostNs += at.hook.CostNs
+	}
+}

@@ -1,0 +1,167 @@
+// Package harness drives the paper's experiments: it runs traced
+// simulation sessions and regenerates every table and figure of the
+// evaluation (Table I, Table II, Fig. 3a, Fig. 3b, Fig. 4, the tracing
+// overheads, the Fig. 2 deployment strategies, and the modeling
+// ablations). Each experiment returns a Result whose Text is the
+// regenerated artifact; cmd/experiments prints them and EXPERIMENTS.md
+// records them against the paper's numbers.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tracesynth/rostracer/internal/apps"
+	"github.com/tracesynth/rostracer/internal/rclcpp"
+	"github.com/tracesynth/rostracer/internal/sched"
+	"github.com/tracesynth/rostracer/internal/sim"
+	"github.com/tracesynth/rostracer/internal/trace"
+	"github.com/tracesynth/rostracer/internal/tracers"
+)
+
+// Result is one regenerated artifact.
+type Result struct {
+	ID    string // experiment id, e.g. "tableII"
+	Title string
+	Text  string // the regenerated table / series
+	OK    bool   // whether the reproduced shape matches the paper
+	Notes []string
+}
+
+func (r Result) String() string {
+	status := "OK"
+	if !r.OK {
+		status = "MISMATCH"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s — %s [%s]\n%s", r.ID, r.Title, status, r.Text)
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Config scales the experiments. Defaults approximate the paper's setup
+// (50 runs); tests use smaller values.
+type Config struct {
+	Runs     int
+	Duration sim.Duration // traced span per run
+	CPUs     int
+	Seed     uint64
+}
+
+// Defaults returns the paper-scale configuration.
+func Defaults() Config {
+	return Config{Runs: 50, Duration: 20 * sim.Second, CPUs: 12, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	d := Defaults()
+	if c.Runs <= 0 {
+		c.Runs = d.Runs
+	}
+	if c.Duration <= 0 {
+		c.Duration = d.Duration
+	}
+	if c.CPUs <= 0 {
+		c.CPUs = d.CPUs
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	return c
+}
+
+// Session is one traced run of an application set.
+type Session struct {
+	World  *rclcpp.World
+	Bundle *tracers.Bundle
+	Trace  *trace.Trace
+
+	TraceBytes  uint64
+	KernelBytes uint64
+	ProbeCostNs float64
+	AppCPUNs    float64
+}
+
+// RunSession boots a world, attaches the three tracers (kernel tracer
+// filtered unless stated), builds the application, runs for duration, and
+// drains the trace — the deployment sequence of Fig. 2.
+func RunSession(seed uint64, cpus int, duration sim.Duration, filteredKernel bool,
+	build func(*rclcpp.World)) (*Session, error) {
+	w := rclcpp.NewWorld(rclcpp.Config{NumCPUs: cpus, Seed: seed})
+	b, err := tracers.NewBundle(w.Runtime())
+	if err != nil {
+		return nil, err
+	}
+	tracers.BridgeSched(w.Machine(), w.Runtime())
+	if err := b.StartInit(); err != nil {
+		return nil, err
+	}
+	if err := b.StartRT(); err != nil {
+		return nil, err
+	}
+	if err := b.StartKernel(filteredKernel); err != nil {
+		return nil, err
+	}
+	build(w)
+	// TR_IN has seen all node creations; it can be stopped now (Fig. 2).
+	b.StopInit()
+	w.Run(duration)
+	tr, err := b.Drain()
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		World: w, Bundle: b, Trace: tr,
+		TraceBytes:  b.TraceBytes(),
+		ProbeCostNs: w.Runtime().CostNs(),
+	}
+	for _, th := range w.Machine().Threads() {
+		s.AppCPUNs += float64(th.CPUTime())
+	}
+	return s, nil
+}
+
+// BuildBoth builds AVP and SYN concurrently (the paper's Sec. VI setup),
+// with the SYN load scaled per run for the Fig. 4 interference variation.
+func BuildBoth(loadScale float64) func(*rclcpp.World) {
+	return func(w *rclcpp.World) {
+		apps.BuildAVP(w, apps.AVPConfig{Prio: 5})
+		apps.BuildSYN(w, apps.SYNConfig{Prio: 7, LoadScale: loadScale})
+	}
+}
+
+// loadScaleForRun varies the SYN interfering load across runs, as the
+// paper does when studying sensitivity of AVP's profiles.
+func loadScaleForRun(run int) float64 {
+	return 0.5 + 1.5*float64(run%10)/9.0 // 0.5x .. 2.0x
+}
+
+// SpawnChatter creates n untraced OS threads that alternate a short
+// compute and a sleep, standing in for the rest of a busy host (browsers,
+// daemons, ...). They are not ROS2 nodes, so the PID-filtered kernel
+// tracer must drop their context switches — the memory-footprint argument
+// of Sec. III-B.
+func SpawnChatter(w *rclcpp.World, n int, period sim.Duration) {
+	m := w.Machine()
+	for i := 0; i < n; i++ {
+		phase := period * sim.Duration(i) / sim.Duration(n)
+		state := 0
+		var pid sched.PID
+		th := m.Spawn(fmt.Sprintf("host_proc_%d", i), 1, 0, sched.ProcFunc(func(*sched.Machine) sched.Demand {
+			state++
+			if state == 1 {
+				// Initial desynchronization.
+				w.Engine().After(phase, func() { m.Wake(pid) })
+				return sched.Block()
+			}
+			if state%2 == 0 {
+				return sched.Compute(50 * sim.Microsecond)
+			}
+			w.Engine().After(period, func() { m.Wake(pid) })
+			return sched.Block()
+		}))
+		pid = th.PID()
+	}
+}

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tracesynth/rostracer/internal/sim"
+)
+
+// testCfg keeps experiment runtime small for CI while preserving the
+// shapes the checks assert.
+func testCfg() Config {
+	return Config{Runs: 8, Duration: 8 * sim.Second, CPUs: 8, Seed: 3}
+}
+
+func TestTableIExperiment(t *testing.T) {
+	r, err := TableIExperiment(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatalf("Table I probes missing events:\n%s", r.Text)
+	}
+	for _, probe := range []string{"P1", "P7", "P14", "P16", "sched_switch"} {
+		if !strings.Contains(r.Text, probe) {
+			t.Errorf("Table I missing row %s", probe)
+		}
+	}
+}
+
+func TestFig3aExperiment(t *testing.T) {
+	r, err := Fig3aExperiment(Config{Runs: 3, Duration: 8 * sim.Second, CPUs: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatalf("Fig. 3a mismatch:\n%s", r.Text)
+	}
+	if len(r.Notes) == 0 || !strings.Contains(r.Notes[0], "digraph") {
+		t.Error("missing DOT export")
+	}
+}
+
+func TestFig3bExperiment(t *testing.T) {
+	r, err := Fig3bExperiment(Config{Runs: 3, Duration: 8 * sim.Second, CPUs: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatalf("Fig. 3b mismatch:\n%s", r.Text)
+	}
+}
+
+func TestTableIIExperiment(t *testing.T) {
+	r, err := TableIIExperiment(Config{Runs: 6, Duration: 15 * sim.Second, CPUs: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatalf("Table II mismatch:\n%s", r.Text)
+	}
+	for _, cb := range []string{"cb1", "cb2", "cb3", "cb4", "cb5", "cb6"} {
+		if !strings.Contains(r.Text, cb) {
+			t.Errorf("Table II missing %s", cb)
+		}
+	}
+}
+
+func TestFig4Experiment(t *testing.T) {
+	r, err := Fig4Experiment(Config{Runs: 10, Duration: 10 * sim.Second, CPUs: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatalf("Fig. 4 shape violated:\n%s\nnotes: %v", r.Text, r.Notes)
+	}
+	if !strings.HasPrefix(r.Text, "run,cb1_mBCET") {
+		t.Errorf("Fig. 4 header wrong: %q", strings.SplitN(r.Text, "\n", 2)[0])
+	}
+}
+
+func TestOverheadsExperiment(t *testing.T) {
+	r, err := OverheadsExperiment(Config{Runs: 1, Duration: 10 * sim.Second, CPUs: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatalf("overheads out of range:\n%s", r.Text)
+	}
+}
+
+func TestFig2Experiment(t *testing.T) {
+	r, err := Fig2Experiment(Config{Runs: 3, Duration: 8 * sim.Second, CPUs: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatalf("Fig. 2 strategies mismatch:\n%s", r.Text)
+	}
+}
+
+func TestAblationServiceExperiment(t *testing.T) {
+	r, err := AblationServiceExperiment(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatalf("service ablation found no spurious chains:\n%s", r.Text)
+	}
+}
+
+func TestAblationSyncExperiment(t *testing.T) {
+	r, err := AblationSyncExperiment(Config{Runs: 6, Duration: 8 * sim.Second, CPUs: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatalf("sync ablation mismatch:\n%s", r.Text)
+	}
+}
+
+func TestValidationExperiment(t *testing.T) {
+	r, err := ValidationExperiment(Config{Runs: 4, Duration: 6 * sim.Second, CPUs: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatalf("validation failed:\n%s", r.Text)
+	}
+}

@@ -1,0 +1,188 @@
+// Package msgfilters simulates the message_filters library used for data
+// synchronization (sensor fusion) in ROS2 applications such as Autoware's
+// point-cloud fusion node. A Synchronizer subscribes to m topics; each
+// arrival runs the filter's operator() — probed as P7 in Table I — and
+// when a complete, time-consistent set of samples is available, the fused
+// user callback runs inside the completing subscriber callback's window.
+//
+// That placement is why, in the paper's words, "when the input data to a
+// CB in MSα never arrives last during the synchronization, no published
+// topic is found in the corresponding entry in CBlist": only the
+// last-arriving subscriber callback ever publishes the fusion output.
+package msgfilters
+
+import (
+	"fmt"
+
+	"github.com/tracesynth/rostracer/internal/dds"
+	"github.com/tracesynth/rostracer/internal/ebpf"
+	"github.com/tracesynth/rostracer/internal/rclcpp"
+	"github.com/tracesynth/rostracer/internal/sim"
+)
+
+// SymOperator is the probed filter-invocation function (Table I, P7).
+var SymOperator = ebpf.Symbol{Lib: "message_filters", Func: "operator"}
+
+// Policy matches sets of samples across the input queues.
+type Policy interface {
+	// TryMatch inspects the queues (one per input, oldest first) and
+	// returns the indices of one matched sample per queue, or ok=false.
+	// Implementations may drop unmatchable samples from the queues.
+	TryMatch(queues [][]*dds.Sample) (picks []int, ok bool)
+}
+
+// ExactTime matches samples whose source timestamps are identical.
+type ExactTime struct{}
+
+// TryMatch implements Policy.
+func (ExactTime) TryMatch(queues [][]*dds.Sample) ([]int, bool) {
+	return matchWithin(queues, 0)
+}
+
+// ApproximateTime matches samples whose source timestamps lie within Slop
+// of each other, dropping heads that can no longer participate in a match.
+// This is a simplified form of message_filters' approximate-time policy
+// with the same observable behaviour for well-formed periodic inputs.
+type ApproximateTime struct {
+	Slop sim.Duration
+}
+
+// TryMatch implements Policy.
+func (p ApproximateTime) TryMatch(queues [][]*dds.Sample) ([]int, bool) {
+	return matchWithin(queues, p.Slop)
+}
+
+// matchWithin finds head samples with timestamp spread <= slop. Heads that
+// are too old relative to the newest head are discarded, since later
+// samples only move forward in time.
+func matchWithin(queues [][]*dds.Sample, slop sim.Duration) ([]int, bool) {
+	for {
+		var newest sim.Time
+		for _, q := range queues {
+			if len(q) == 0 {
+				return nil, false
+			}
+			if q[0].SrcTS > newest {
+				newest = q[0].SrcTS
+			}
+		}
+		dropped := false
+		for i, q := range queues {
+			if newest.Sub(q[0].SrcTS) > slop {
+				queues[i] = q[1:]
+				dropped = true
+			}
+		}
+		if dropped {
+			continue
+		}
+		picks := make([]int, len(queues))
+		return picks, true // heads (index 0) all within slop
+	}
+}
+
+// FusedContext is handed to the fused callback: the matched set plus the
+// completing subscription's callback context.
+type FusedContext struct {
+	*rclcpp.CallbackContext
+	Set []*dds.Sample
+}
+
+// Synchronizer ties m subscriptions on one node to a fused callback.
+type Synchronizer struct {
+	node   *rclcpp.Node
+	policy Policy
+	topics []string
+	queues [][]*dds.Sample
+
+	// ReadET is the designed cost of handling one (non-completing)
+	// arrival; FusedET is the additional cost when an arrival completes a
+	// set and the fusion computation runs.
+	readET  []sim.Distribution
+	fusedET sim.Distribution
+	fused   func(*FusedContext)
+
+	subs    []*rclcpp.Subscription
+	matches uint64
+}
+
+// Config configures a Synchronizer.
+type Config struct {
+	Topics  []string
+	Policy  Policy
+	ReadET  []sim.Distribution // one per topic; nil entries mean zero cost
+	FusedET sim.Distribution   // extra cost when completing a set
+	Fused   func(*FusedContext)
+}
+
+// New creates the synchronizer's subscriptions on node. Each subscription
+// is an ordinary rclcpp subscription whose body is the filter operator.
+func New(node *rclcpp.Node, cfg Config) *Synchronizer {
+	if len(cfg.Topics) < 2 {
+		panic("msgfilters: need at least two topics to synchronize")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = ApproximateTime{Slop: 10 * sim.Millisecond}
+	}
+	if cfg.ReadET != nil && len(cfg.ReadET) != len(cfg.Topics) {
+		panic(fmt.Sprintf("msgfilters: %d ReadET entries for %d topics", len(cfg.ReadET), len(cfg.Topics)))
+	}
+	s := &Synchronizer{
+		node:    node,
+		policy:  cfg.Policy,
+		topics:  cfg.Topics,
+		queues:  make([][]*dds.Sample, len(cfg.Topics)),
+		readET:  cfg.ReadET,
+		fusedET: cfg.FusedET,
+		fused:   cfg.Fused,
+	}
+	for i, topic := range cfg.Topics {
+		i := i
+		s.subs = append(s.subs, node.CreateSubscription(topic, rclcpp.BodyFunc(
+			func(ctx *rclcpp.CallbackContext) (sim.Duration, rclcpp.Action) {
+				return s.operator(i, ctx)
+			})))
+	}
+	return s
+}
+
+// Subscriptions returns the underlying subscriptions, input order.
+func (s *Synchronizer) Subscriptions() []*rclcpp.Subscription { return s.subs }
+
+// Matches returns how many complete sets have been fused.
+func (s *Synchronizer) Matches() uint64 { return s.matches }
+
+// operator is the filter's operator(): it fires P7, enqueues the sample,
+// and — if this arrival completes a set — plans the fusion work and its
+// publishing action into this callback instance.
+func (s *Synchronizer) operator(input int, ctx *rclcpp.CallbackContext) (sim.Duration, rclcpp.Action) {
+	n := s.node
+	w := n.World()
+	w.Runtime().FireUprobe(n.PID(), n.Thread().CPU(), SymOperator, uint64(input)) // P7
+
+	s.queues[input] = append(s.queues[input], ctx.Sample)
+
+	var et sim.Duration
+	if s.readET != nil && s.readET[input] != nil {
+		et = s.readET[input].Sample(w.ETRand())
+	}
+	picks, ok := s.policy.TryMatch(s.queues)
+	if !ok {
+		return et, nil
+	}
+	// Pop the matched set.
+	set := make([]*dds.Sample, len(s.queues))
+	for i, pick := range picks {
+		set[i] = s.queues[i][pick]
+		s.queues[i] = append(s.queues[i][:pick:pick], s.queues[i][pick+1:]...)
+	}
+	s.matches++
+	if s.fusedET != nil {
+		et += s.fusedET.Sample(w.ETRand())
+	}
+	return et, func(c *rclcpp.CallbackContext) {
+		if s.fused != nil {
+			s.fused(&FusedContext{CallbackContext: c, Set: set})
+		}
+	}
+}

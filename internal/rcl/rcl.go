@@ -1,0 +1,38 @@
+// Package rcl simulates the rcl layer, the C core under rclcpp. Only one
+// of its functions is probed in the paper: rcl_timer_call (P3), which the
+// timer-callback identification relies on because execute_timer itself
+// exposes no usable arguments under eBPF.
+package rcl
+
+import (
+	"github.com/tracesynth/rostracer/internal/ebpf"
+	"github.com/tracesynth/rostracer/internal/umem"
+)
+
+// SymTimerCall is the probed timer dispatch function (Table I, P3).
+var SymTimerCall = ebpf.Symbol{Lib: "rcl", Func: "rcl_timer_call"}
+
+// TimerCBIDOff is the byte offset of the callback handle in the rcl timer
+// descriptor.
+const TimerCBIDOff = 0
+
+// Timer is an rcl timer descriptor resident in process memory.
+type Timer struct {
+	Addr umem.Addr
+	CBID uint64
+}
+
+// NewTimer materializes a timer descriptor in space; its callback handle
+// is the address of a dedicated callback object allocation.
+func NewTimer(space *umem.Space) Timer {
+	cbObj := space.AllocU64(0)
+	w := umem.NewStructWriter(space)
+	w.U64(uint64(cbObj)) // TimerCBIDOff
+	return Timer{Addr: w.Commit(), CBID: uint64(cbObj)}
+}
+
+// TimerCall simulates rcl_timer_call, firing P3 with the timer descriptor
+// as argument 0.
+func TimerCall(rt *ebpf.Runtime, pid uint32, cpu int, tm Timer) {
+	rt.FireUprobe(pid, cpu, SymTimerCall, uint64(tm.Addr))
+}

@@ -1,0 +1,188 @@
+package rclcpp
+
+import (
+	"github.com/tracesynth/rostracer/internal/dds"
+	"github.com/tracesynth/rostracer/internal/rcl"
+	"github.com/tracesynth/rostracer/internal/rmw"
+	"github.com/tracesynth/rostracer/internal/sched"
+	"github.com/tracesynth/rostracer/internal/sim"
+)
+
+type workKind int
+
+const (
+	workSub workKind = iota
+	workService
+	workClient
+)
+
+type workItem struct {
+	kind   workKind
+	sub    *Subscription
+	svc    *Service
+	client *Client
+	sample *dds.Sample
+}
+
+// executor is the single-threaded ROS2 executor: it dispatches one
+// callback at a time from start to end (Sec. II-A of the paper), blocking
+// on the wait set when nothing is ready. Timers take precedence over
+// message-driven work, as in rclcpp's wait-set ordering; messages are
+// handled in arrival order.
+type executor struct {
+	node  *Node
+	queue []workItem
+
+	inCallback bool
+	endProbe   func()
+	action     Action
+	actionCtx  *CallbackContext
+}
+
+func (x *executor) enqueue(it workItem) { x.queue = append(x.queue, it) }
+
+// Resume implements sched.Proc.
+func (x *executor) Resume(m *sched.Machine) sched.Demand {
+	if x.inCallback {
+		x.finishCurrent()
+	}
+	for {
+		if t := x.readyTimer(); t != nil {
+			return x.beginTimer(t)
+		}
+		if len(x.queue) == 0 {
+			return sched.Block()
+		}
+		it := x.queue[0]
+		x.queue = x.queue[1:]
+		switch it.kind {
+		case workSub:
+			return x.beginSub(it.sub, it.sample)
+		case workService:
+			return x.beginService(it.svc, it.sample)
+		case workClient:
+			if d, dispatched := x.beginClient(it.client, it.sample); dispatched {
+				return d
+			}
+			// Response was for another client: the instance completed
+			// instantly (P12/P13/P14/P15 fired); look for more work.
+		}
+	}
+}
+
+func (x *executor) readyTimer() *Timer {
+	for _, t := range x.node.timers {
+		if t.ready > 0 {
+			return t
+		}
+	}
+	return nil
+}
+
+// start records the in-flight callback and returns its compute demand.
+func (x *executor) start(ctx *CallbackContext, body Body, cbid uint64, endProbe func()) sched.Demand {
+	et, action := body.Plan(ctx)
+	if et < 0 {
+		et = 0
+	}
+	n := x.node
+	n.world.recordTruth(n.pid, cbid, ctx.Time, et)
+	x.inCallback = true
+	x.action = action
+	x.actionCtx = ctx
+	x.endProbe = endProbe
+	return sched.Compute(et)
+}
+
+// finishCurrent runs the completion action (publishes, service calls) and
+// fires the execute_* exit probe, all inside the callback window.
+func (x *executor) finishCurrent() {
+	if x.action != nil {
+		x.action(x.actionCtx)
+	}
+	if x.endProbe != nil {
+		x.endProbe()
+	}
+	x.inCallback = false
+	x.action = nil
+	x.actionCtx = nil
+	x.endProbe = nil
+}
+
+func (x *executor) beginTimer(t *Timer) sched.Demand {
+	t.ready--
+	n := x.node
+	w := n.world
+	cpu := n.cpu()
+	w.rt.FireUprobe(n.pid, cpu, SymExecuteTimer) // P2
+	rcl.TimerCall(w.rt, n.pid, cpu, t.rclTm)     // P3
+	ctx := &CallbackContext{Node: n, Time: w.eng.Now()}
+	return x.start(ctx, t.body, t.rclTm.CBID, func() {
+		w.rt.FireUretprobe(n.pid, n.cpu(), SymExecuteTimer, 0) // P4
+	})
+}
+
+func (x *executor) beginSub(s *Subscription, sample *dds.Sample) sched.Demand {
+	n := x.node
+	w := n.world
+	cpu := n.cpu()
+	w.rt.FireUprobe(n.pid, cpu, SymExecuteSubscription)      // P5
+	rmw.TakeInt(w.rt, n.pid, cpu, n.space, s.entity, sample) // P6 entry+exit
+	ctx := &CallbackContext{Node: n, Sample: sample, Time: w.eng.Now()}
+	return x.start(ctx, s.body, s.entity.CBID, func() {
+		w.rt.FireUretprobe(n.pid, n.cpu(), SymExecuteSubscription, 0) // P8
+	})
+}
+
+func (x *executor) beginService(s *Service, req *dds.Sample) sched.Demand {
+	n := x.node
+	w := n.world
+	cpu := n.cpu()
+	w.rt.FireUprobe(n.pid, cpu, SymExecuteService)            // P9
+	rmw.TakeRequest(w.rt, n.pid, cpu, n.space, s.entity, req) // P10
+	ctx := &CallbackContext{Node: n, Sample: req, Time: w.eng.Now()}
+	body := BodyFunc(func(c *CallbackContext) (sim.Duration, Action) {
+		var et sim.Duration
+		if s.et != nil {
+			et = s.et.Sample(w.etRNG)
+		}
+		return et, func(c *CallbackContext) {
+			var payload interface{}
+			if s.handler != nil {
+				payload = s.handler(c)
+			}
+			// The response inherits the request's client identity and RPC
+			// sequence so response routing (P14) can discriminate callers.
+			s.respWriter.Write(payload, req.ClientID, req.RPCSeq) // P16
+		}
+	})
+	return x.start(ctx, body, s.entity.CBID, func() {
+		w.rt.FireUretprobe(n.pid, n.cpu(), SymExecuteService, 0) // P11
+	})
+}
+
+// beginClient handles a response arrival at one client node. It returns
+// (demand, true) when the local client callback is dispatched, or
+// (zero, false) when the response belonged to another client, in which
+// case the whole instance completes within this call.
+func (x *executor) beginClient(c *Client, resp *dds.Sample) (sched.Demand, bool) {
+	n := x.node
+	w := n.world
+	cpu := n.cpu()
+	w.rt.FireUprobe(n.pid, cpu, SymExecuteClient)               // P12
+	rmw.TakeResponse(w.rt, n.pid, cpu, n.space, c.entity, resp) // P13
+	dispatch := uint64(0)
+	if resp.ClientID == c.entity.CBID {
+		dispatch = 1
+	}
+	// take_type_erased_response's return value is read by uretprobe P14.
+	w.rt.FireUretprobe(n.pid, cpu, SymTakeTypeErased, dispatch)
+	if dispatch == 0 {
+		w.rt.FireUretprobe(n.pid, cpu, SymExecuteClient, 0) // P15: nothing ran
+		return sched.Demand{}, false
+	}
+	ctx := &CallbackContext{Node: n, Sample: resp, Time: w.eng.Now()}
+	return x.start(ctx, c.body, c.entity.CBID, func() {
+		w.rt.FireUretprobe(n.pid, n.cpu(), SymExecuteClient, 0) // P15
+	}), true
+}

@@ -1,0 +1,253 @@
+package rclcpp
+
+import (
+	"fmt"
+
+	"github.com/tracesynth/rostracer/internal/dds"
+	"github.com/tracesynth/rostracer/internal/rcl"
+	"github.com/tracesynth/rostracer/internal/rmw"
+	"github.com/tracesynth/rostracer/internal/sched"
+	"github.com/tracesynth/rostracer/internal/sim"
+	"github.com/tracesynth/rostracer/internal/umem"
+)
+
+// CallbackContext is passed to callback bodies. It identifies the node and
+// (for message-driven callbacks) the sample being handled.
+type CallbackContext struct {
+	Node   *Node
+	Sample *dds.Sample // nil for timer callbacks
+	Time   sim.Time    // callback start time
+}
+
+// Action is user code run at the end of a callback instance, while still
+// inside the callback window; publishing from an Action therefore produces
+// dds_write (P16) events attributable to this callback, as in real ROS2.
+type Action func(*CallbackContext)
+
+// Body supplies the user code of a callback. Plan is invoked when an
+// instance starts; it returns the designed compute duration and the
+// completion action (which may be nil).
+type Body interface {
+	Plan(ctx *CallbackContext) (sim.Duration, Action)
+}
+
+// SimpleBody is the common case: an execution-time distribution plus a
+// fixed action.
+type SimpleBody struct {
+	ET     sim.Distribution
+	Action Action
+}
+
+// Plan implements Body.
+func (b SimpleBody) Plan(ctx *CallbackContext) (sim.Duration, Action) {
+	var d sim.Duration
+	if b.ET != nil {
+		d = b.ET.Sample(ctx.Node.world.etRNG)
+	}
+	return d, b.Action
+}
+
+// BodyFunc adapts a planning function to Body.
+type BodyFunc func(ctx *CallbackContext) (sim.Duration, Action)
+
+// Plan implements Body.
+func (f BodyFunc) Plan(ctx *CallbackContext) (sim.Duration, Action) { return f(ctx) }
+
+// Node is one ROS2 node: a set of callbacks dispatched by a dedicated
+// single-threaded executor.
+type Node struct {
+	world  *World
+	name   string
+	pid    uint32
+	thread *sched.Thread
+	space  *umem.Space
+	exec   *executor
+
+	timers        []*Timer
+	subscriptions []*Subscription
+	services      []*Service
+	clients       []*Client
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// PID returns the executor thread's PID.
+func (n *Node) PID() uint32 { return n.pid }
+
+// World returns the owning world.
+func (n *Node) World() *World { return n.world }
+
+// Space returns the node's simulated process memory.
+func (n *Node) Space() *umem.Space { return n.space }
+
+// Thread returns the executor thread.
+func (n *Node) Thread() *sched.Thread { return n.thread }
+
+func (n *Node) cpu() int { return n.thread.CPU() }
+
+// rmwCreateNode fires P1 for a fresh node.
+func rmwCreateNode(w *World, n *Node) {
+	rmw.CreateNode(w.rt, n.pid, 0, n.space, n.name)
+}
+
+// Timer triggers a callback periodically.
+type Timer struct {
+	node   *Node
+	period sim.Duration
+	body   Body
+	rclTm  rcl.Timer
+	ready  int
+}
+
+// CBID returns the timer's callback handle.
+func (t *Timer) CBID() uint64 { return t.rclTm.CBID }
+
+// Period returns the configured period.
+func (t *Timer) Period() sim.Duration { return t.period }
+
+// CreateTimer registers a timer callback. The first expiry occurs at
+// phase+period after creation (as with rclcpp wall timers, which arm on
+// creation and fire after one full period); subsequent expiries follow at
+// the fixed rate.
+func (n *Node) CreateTimer(period sim.Duration, phase sim.Duration, body Body) *Timer {
+	if period <= 0 {
+		panic(fmt.Sprintf("rclcpp: node %q timer period %v", n.name, period))
+	}
+	if phase < 0 {
+		phase = 0
+	}
+	t := &Timer{node: n, period: period, body: body, rclTm: rcl.NewTimer(n.space)}
+	n.timers = append(n.timers, t)
+	var tick func()
+	tick = func() {
+		t.ready++
+		n.world.machine.Wake(n.thread.PID())
+		n.world.eng.After(period, tick)
+	}
+	n.world.eng.After(phase+period, tick)
+	return t
+}
+
+// Publisher publishes application data on a topic.
+type Publisher struct {
+	writer *dds.Writer
+}
+
+// Topic returns the published topic.
+func (p *Publisher) Topic() string { return p.writer.Topic() }
+
+// Publish writes payload on the topic.
+func (p *Publisher) Publish(payload interface{}) { p.writer.Write(payload, 0, 0) }
+
+// CreatePublisher creates a publisher on topic.
+func (n *Node) CreatePublisher(topic string) *Publisher {
+	return &Publisher{writer: n.world.domain.CreateWriter(n.pid, n.space, topic)}
+}
+
+// Subscription triggers a callback on new topic data.
+type Subscription struct {
+	node   *Node
+	topic  string
+	body   Body
+	entity rmw.Entity
+}
+
+// CBID returns the subscription's callback handle.
+func (s *Subscription) CBID() uint64 { return s.entity.CBID }
+
+// Topic returns the subscribed topic.
+func (s *Subscription) Topic() string { return s.topic }
+
+// CreateSubscription registers a subscriber callback on topic.
+func (n *Node) CreateSubscription(topic string, body Body) *Subscription {
+	s := &Subscription{node: n, topic: topic, body: body, entity: rmw.NewEntity(n.space, topic)}
+	n.subscriptions = append(n.subscriptions, s)
+	n.world.domain.CreateReader(n.pid, topic, func(sample *dds.Sample) {
+		n.exec.enqueue(workItem{kind: workSub, sub: s, sample: sample})
+		n.world.machine.Wake(n.thread.PID())
+	})
+	return s
+}
+
+// ServiceHandler computes a service response payload from a request.
+type ServiceHandler func(ctx *CallbackContext) interface{}
+
+// Service serves RPCs: each request triggers the service callback, whose
+// completion writes the response on the service's response topic.
+type Service struct {
+	node       *Node
+	name       string
+	et         sim.Distribution
+	handler    ServiceHandler
+	entity     rmw.Entity
+	respWriter *dds.Writer
+}
+
+// CBID returns the service's callback handle.
+func (s *Service) CBID() uint64 { return s.entity.CBID }
+
+// ServiceName returns the service name.
+func (s *Service) ServiceName() string { return s.name }
+
+// CreateService registers a service. et is the designed execution time of
+// the service callback; handler produces the response payload (may be nil).
+func (n *Node) CreateService(service string, et sim.Distribution, handler ServiceHandler) *Service {
+	s := &Service{
+		node: n, name: service, et: et, handler: handler,
+		entity:     rmw.NewEntity(n.space, service),
+		respWriter: n.world.domain.CreateWriter(n.pid, n.space, dds.ServiceResponseTopic(service)),
+	}
+	n.services = append(n.services, s)
+	n.world.domain.CreateReader(n.pid, dds.ServiceRequestTopic(service), func(sample *dds.Sample) {
+		n.exec.enqueue(workItem{kind: workService, svc: s, sample: sample})
+		n.world.machine.Wake(n.thread.PID())
+	})
+	return s
+}
+
+// Client issues RPCs to a service and handles responses in a client
+// callback. As in the paper's Cyclone DDS setup, the response topic is
+// shared: every client node of a service receives every response, and
+// take_type_erased_response decides whether the local client callback is
+// dispatched.
+type Client struct {
+	node      *Node
+	service   string
+	body      Body
+	entity    rmw.Entity
+	reqWriter *dds.Writer
+	rpcSeq    uint64
+}
+
+// CBID returns the client's callback handle, which also identifies the
+// client for response routing.
+func (c *Client) CBID() uint64 { return c.entity.CBID }
+
+// ServiceName returns the called service.
+func (c *Client) ServiceName() string { return c.service }
+
+// CreateClient registers a client of service; body is the response
+// callback.
+func (n *Node) CreateClient(service string, body Body) *Client {
+	c := &Client{
+		node: n, service: service, body: body,
+		entity:    rmw.NewEntity(n.space, service),
+		reqWriter: n.world.domain.CreateWriter(n.pid, n.space, dds.ServiceRequestTopic(service)),
+	}
+	n.clients = append(n.clients, c)
+	n.world.domain.CreateReader(n.pid, dds.ServiceResponseTopic(service), func(sample *dds.Sample) {
+		n.exec.enqueue(workItem{kind: workClient, client: c, sample: sample})
+		n.world.machine.Wake(n.thread.PID())
+	})
+	return c
+}
+
+// Call sends an asynchronous request. It is intended to be invoked from a
+// callback Action, so the resulting dds_write lands inside the calling
+// callback's window (paper: requests are published on the request topic
+// from within the caller callback).
+func (c *Client) Call(payload interface{}) {
+	c.rpcSeq++
+	c.reqWriter.Write(payload, c.entity.CBID, c.rpcSeq)
+}

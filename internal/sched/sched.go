@@ -1,0 +1,464 @@
+// Package sched simulates a multi-core preemptive operating-system
+// scheduler in virtual time.
+//
+// Threads (one per ROS2 node in this system, since the paper assumes
+// single-threaded executors) run under fixed-priority preemptive scheduling
+// with CPU affinities, like SCHED_FIFO on Linux. Every context switch fires
+// an observer callback carrying the same fields the kernel publishes in the
+// sched:sched_switch tracepoint — CPU, previous/next PID and priority, and
+// the previous thread's state — which is exactly the input Algorithm 2 of
+// the paper consumes to measure callback execution times.
+//
+// The machine also keeps independent ground-truth CPU accounting per
+// thread, so experiments can verify that trace-based measurement recovers
+// the designed execution times exactly.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tracesynth/rostracer/internal/sim"
+)
+
+// PID identifies a thread. PID 0 is the idle ("swapper") thread.
+type PID uint32
+
+// IdlePID is the PID reported in switch events when a CPU goes idle.
+const IdlePID PID = 0
+
+// ThreadState enumerates scheduler states.
+type ThreadState int
+
+// Thread states.
+const (
+	StateRunning  ThreadState = iota // on a CPU
+	StateRunnable                    // waiting for a CPU
+	StateBlocked                     // waiting for a wake-up
+	StateExited                      // finished
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateRunnable:
+		return "runnable"
+	case StateBlocked:
+		return "blocked"
+	default:
+		return "exited"
+	}
+}
+
+// PrevState values reported in switch events, mirroring Linux: 0 means the
+// previous thread was preempted while still runnable, 1 means it went to
+// sleep, 16 means it exited.
+const (
+	PrevStateRunnable = 0
+	PrevStateSleeping = 1
+	PrevStateDead     = 16
+)
+
+// DemandKind says what a thread wants next.
+type DemandKind int
+
+// Demand kinds.
+const (
+	// DemandCompute asks for Cost nanoseconds of CPU time.
+	DemandCompute DemandKind = iota
+	// DemandBlock puts the thread to sleep until Wake.
+	DemandBlock
+	// DemandExit terminates the thread.
+	DemandExit
+)
+
+// Demand is a thread's next scheduling request.
+type Demand struct {
+	Kind DemandKind
+	Cost sim.Duration
+}
+
+// Compute returns a compute demand of d nanoseconds.
+func Compute(d sim.Duration) Demand { return Demand{Kind: DemandCompute, Cost: d} }
+
+// Block returns a blocking demand.
+func Block() Demand { return Demand{Kind: DemandBlock} }
+
+// Exit returns an exit demand.
+func Exit() Demand { return Demand{Kind: DemandExit} }
+
+// Proc is the behavior of a thread. Resume is invoked when the thread
+// starts, when a compute demand completes, and when the thread is woken
+// from a block; it returns the next demand. Resume runs atomically at one
+// virtual instant while the thread holds a CPU, so it may publish messages,
+// fire probes, and wake other threads.
+type Proc interface {
+	Resume(m *Machine) Demand
+}
+
+// ProcFunc adapts a function to Proc.
+type ProcFunc func(m *Machine) Demand
+
+// Resume implements Proc.
+func (f ProcFunc) Resume(m *Machine) Demand { return f(m) }
+
+// Wakeup describes one sched_wakeup occurrence.
+type Wakeup struct {
+	Time sim.Time
+	PID  PID
+	Prio int
+}
+
+// Switch describes one sched_switch occurrence.
+type Switch struct {
+	Time      sim.Time
+	CPU       int
+	PrevPID   PID
+	PrevPrio  int
+	PrevState int // PrevStateRunnable, PrevStateSleeping or PrevStateDead
+	NextPID   PID
+	NextPrio  int
+}
+
+// Thread is one schedulable entity.
+type Thread struct {
+	pid      PID
+	name     string
+	prio     int    // larger = more urgent
+	affinity uint64 // bit i set = may run on CPU i
+	proc     Proc
+
+	state       ThreadState
+	cpu         int // valid when running (or just paused)
+	remaining   sim.Duration
+	sliceStart  sim.Time
+	completion  sim.EventID
+	hasEvent    bool
+	fifoSeq     uint64
+	wakePending bool
+
+	cpuTime sim.Duration // ground truth CPU time consumed
+}
+
+// PID returns the thread's identifier.
+func (t *Thread) PID() PID { return t.pid }
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// Priority returns the scheduling priority.
+func (t *Thread) Priority() int { return t.prio }
+
+// Affinity returns the CPU affinity mask.
+func (t *Thread) Affinity() uint64 { return t.affinity }
+
+// State returns the current scheduler state.
+func (t *Thread) State() ThreadState { return t.state }
+
+// CPU returns the processor the thread is running on (or last ran on).
+func (t *Thread) CPU() int { return t.cpu }
+
+// CPUTime returns the ground-truth CPU time consumed so far.
+func (t *Thread) CPUTime() sim.Duration { return t.cpuTime }
+
+type cpu struct {
+	id      int
+	running *Thread
+}
+
+// Machine is the simulated multiprocessor.
+type Machine struct {
+	eng     *sim.Engine
+	cpus    []*cpu
+	threads map[PID]*Thread
+	nextPID PID
+	seq     uint64
+
+	// OnSwitch, if set, observes every context switch; the kernel tracer
+	// attaches here (via the ebpf tracepoint bridge).
+	OnSwitch func(Switch)
+	// OnWakeup, if set, observes blocked->runnable transitions, feeding
+	// the sched_wakeup tracepoint (the waiting-time extension of the
+	// paper's Sec. VII).
+	OnWakeup func(Wakeup)
+
+	switches uint64
+}
+
+// NewMachine creates a machine with numCPUs processors on engine eng.
+func NewMachine(eng *sim.Engine, numCPUs int) *Machine {
+	if numCPUs <= 0 || numCPUs > 64 {
+		panic(fmt.Sprintf("sched: invalid CPU count %d", numCPUs))
+	}
+	m := &Machine{eng: eng, threads: make(map[PID]*Thread), nextPID: 1000}
+	for i := 0; i < numCPUs; i++ {
+		m.cpus = append(m.cpus, &cpu{id: i})
+	}
+	return m
+}
+
+// Engine returns the simulation engine.
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// NumCPUs returns the processor count.
+func (m *Machine) NumCPUs() int { return len(m.cpus) }
+
+// Switches returns the total number of context switches so far.
+func (m *Machine) Switches() uint64 { return m.switches }
+
+// AffinityAll is an affinity mask allowing every CPU.
+const AffinityAll uint64 = ^uint64(0)
+
+// AffinityCPU returns a mask allowing only the given CPU.
+func AffinityCPU(c int) uint64 { return 1 << uint(c) }
+
+// Spawn creates a thread. It becomes runnable immediately; scheduling
+// happens when the engine runs.
+func (m *Machine) Spawn(name string, prio int, affinity uint64, p Proc) *Thread {
+	if affinity == 0 {
+		affinity = AffinityAll
+	}
+	mask := affinity & (uint64(1)<<uint(len(m.cpus)) - 1)
+	if len(m.cpus) == 64 {
+		mask = affinity
+	}
+	if mask == 0 {
+		panic(fmt.Sprintf("sched: thread %q has empty effective affinity", name))
+	}
+	t := &Thread{
+		pid: m.nextPID, name: name, prio: prio, affinity: mask,
+		proc: p, state: StateRunnable, fifoSeq: m.seq,
+	}
+	m.seq++
+	m.nextPID++
+	m.threads[t.pid] = t
+	// Defer the initial dispatch to an engine event so that spawning
+	// during setup (before Run) behaves identically to spawning mid-run.
+	m.eng.After(0, m.reschedule)
+	return t
+}
+
+// Lookup returns the thread with the given PID, or nil.
+func (m *Machine) Lookup(pid PID) *Thread { return m.threads[pid] }
+
+// Threads returns all threads sorted by PID.
+func (m *Machine) Threads() []*Thread {
+	out := make([]*Thread, 0, len(m.threads))
+	for _, t := range m.threads {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pid < out[j].pid })
+	return out
+}
+
+// Wake makes a blocked thread runnable. Waking a running or runnable
+// thread records a pending wake so a concurrent block is absorbed, which
+// mirrors the kernel's wake-up race handling.
+func (m *Machine) Wake(pid PID) {
+	t := m.threads[pid]
+	if t == nil || t.state == StateExited {
+		return
+	}
+	switch t.state {
+	case StateBlocked:
+		t.state = StateRunnable
+		t.fifoSeq = m.seq
+		m.seq++
+		if m.OnWakeup != nil {
+			m.OnWakeup(Wakeup{Time: m.eng.Now(), PID: t.pid, Prio: t.prio})
+		}
+		m.reschedule()
+	default:
+		t.wakePending = true
+	}
+}
+
+// reschedule computes the preferred assignment of runnable threads to CPUs
+// and applies the difference. Changed CPUs are first paused, then refilled,
+// so a migrating thread is never booked on two CPUs at once.
+func (m *Machine) reschedule() {
+	// Candidates: running + runnable threads, by (priority desc, FIFO asc).
+	var cands []*Thread
+	for _, t := range m.threads {
+		if t.state == StateRunning || t.state == StateRunnable {
+			cands = append(cands, t)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].prio != cands[j].prio {
+			return cands[i].prio > cands[j].prio
+		}
+		if cands[i].fifoSeq != cands[j].fifoSeq {
+			return cands[i].fifoSeq < cands[j].fifoSeq
+		}
+		return cands[i].pid < cands[j].pid
+	})
+
+	assigned := make([]*Thread, len(m.cpus))
+	taken := make([]bool, len(m.cpus))
+	place := func(t *Thread, c int) {
+		assigned[c] = t
+		taken[c] = true
+	}
+	allowed := func(t *Thread, c int) bool { return t.affinity&(1<<uint(c)) != 0 }
+	for _, t := range cands {
+		// Prefer the CPU the thread already occupies, then an idle CPU,
+		// then any free slot (taking it from a lower-priority occupant).
+		if t.state == StateRunning && !taken[t.cpu] && allowed(t, t.cpu) {
+			place(t, t.cpu)
+			continue
+		}
+		idle, free := -1, -1
+		for _, c := range m.cpus {
+			if taken[c.id] || !allowed(t, c.id) {
+				continue
+			}
+			if c.running == nil && idle < 0 {
+				idle = c.id
+			}
+			if free < 0 {
+				free = c.id
+			}
+		}
+		switch {
+		case idle >= 0:
+			place(t, idle)
+		case free >= 0:
+			place(t, free)
+		}
+		// No slot: the thread stays runnable.
+	}
+
+	// Phase 1: pause every outgoing occupant.
+	type change struct {
+		c        *cpu
+		prev     *Thread
+		prevInfo [3]uint64 // pid, prio, state
+	}
+	var changes []change
+	for _, c := range m.cpus {
+		if c.running == assigned[c.id] {
+			continue
+		}
+		ch := change{c: c, prev: c.running}
+		if p := c.running; p != nil {
+			ch.prevInfo = [3]uint64{uint64(p.pid), uint64(p.prio), uint64(prevStateOf(p))}
+			m.pause(c)
+		}
+		changes = append(changes, ch)
+	}
+	// Phase 2: install incoming threads and emit one switch per CPU.
+	for _, ch := range changes {
+		next := assigned[ch.c.id]
+		m.install(ch.c, next)
+		sw := Switch{
+			Time:      m.eng.Now(),
+			CPU:       ch.c.id,
+			PrevPID:   PID(ch.prevInfo[0]),
+			PrevPrio:  int(ch.prevInfo[1]),
+			PrevState: int(ch.prevInfo[2]),
+		}
+		if next != nil {
+			sw.NextPID = next.pid
+			sw.NextPrio = next.prio
+		}
+		m.switches++
+		if m.OnSwitch != nil {
+			m.OnSwitch(sw)
+		}
+	}
+}
+
+func prevStateOf(t *Thread) int {
+	switch t.state {
+	case StateBlocked:
+		return PrevStateSleeping
+	case StateExited:
+		return PrevStateDead
+	default:
+		return PrevStateRunnable
+	}
+}
+
+// pause halts the occupant of c, charging its CPU time and cancelling its
+// completion event. A still-running occupant becomes runnable (preemption);
+// blocked/exited occupants keep their state.
+func (m *Machine) pause(c *cpu) {
+	t := c.running
+	if t == nil {
+		return
+	}
+	ran := m.eng.Now().Sub(t.sliceStart)
+	t.cpuTime += ran
+	t.remaining -= ran
+	if t.remaining < 0 {
+		t.remaining = 0
+	}
+	if t.hasEvent {
+		m.eng.Cancel(t.completion)
+		t.hasEvent = false
+	}
+	if t.state == StateRunning {
+		t.state = StateRunnable
+	}
+	c.running = nil
+}
+
+// install puts t (possibly nil) on c and schedules its compute completion.
+func (m *Machine) install(c *cpu, t *Thread) {
+	c.running = t
+	if t == nil {
+		return
+	}
+	t.state = StateRunning
+	t.cpu = c.id
+	t.sliceStart = m.eng.Now()
+	d := t.remaining
+	if d < 0 {
+		d = 0
+	}
+	t.completion = m.eng.After(d, func() { m.complete(t) })
+	t.hasEvent = true
+}
+
+// complete handles a thread finishing its current compute demand: account
+// the time, ask the Proc for the next demand, and act on it.
+func (m *Machine) complete(t *Thread) {
+	t.hasEvent = false
+	now := m.eng.Now()
+	t.cpuTime += now.Sub(t.sliceStart)
+	t.remaining = 0
+	t.sliceStart = now
+
+	d := t.proc.Resume(m)
+	switch d.Kind {
+	case DemandCompute:
+		if d.Cost < 0 {
+			d.Cost = 0
+		}
+		t.remaining = d.Cost
+		// The thread keeps its CPU; a thread continuing to run produces no
+		// sched_switch, matching the kernel.
+		t.completion = m.eng.After(d.Cost, func() { m.complete(t) })
+		t.hasEvent = true
+		m.reschedule()
+
+	case DemandBlock:
+		if t.wakePending {
+			// Absorb the wake: never actually sleep; re-enter Resume at
+			// the same instant via a zero-cost compute.
+			t.wakePending = false
+			t.remaining = 0
+			t.completion = m.eng.After(0, func() { m.complete(t) })
+			t.hasEvent = true
+			return
+		}
+		t.state = StateBlocked
+		m.reschedule()
+
+	case DemandExit:
+		t.state = StateExited
+		m.reschedule()
+	}
+}

@@ -1,0 +1,185 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic random-number generator
+// (xorshift64*). Every stochastic component of the simulator draws from its
+// own RNG stream derived from the experiment seed, so adding a component
+// never perturbs the draws seen by another.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant because xorshift has a zero fixed point.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Stream derives an independent child generator from r and a stream label.
+func (r *RNG) Stream(label uint64) *RNG {
+	// SplitMix-style mixing of the parent state and the label.
+	z := r.state + 0x9e3779b97f4a7c15*(label+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return NewRNG(z)
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation (Box-Muller).
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// LogNormal returns exp(Normal(mu, sigma)).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Distribution produces virtual durations; it models a callback's designed
+// execution-time profile.
+type Distribution interface {
+	// Sample draws one duration. Implementations must never return a
+	// negative duration.
+	Sample(r *RNG) Duration
+	// Bounds reports the distribution's support [min, max] as designed;
+	// used by validation experiments as ground truth.
+	Bounds() (min, max Duration)
+}
+
+// Constant is a degenerate distribution: every sample equals Value.
+type Constant struct{ Value Duration }
+
+// Sample implements Distribution.
+func (c Constant) Sample(*RNG) Duration { return c.Value }
+
+// Bounds implements Distribution.
+func (c Constant) Bounds() (Duration, Duration) { return c.Value, c.Value }
+
+// Uniform samples uniformly in [Min, Max].
+type Uniform struct{ Min, Max Duration }
+
+// Sample implements Distribution.
+func (u Uniform) Sample(r *RNG) Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	span := float64(u.Max - u.Min)
+	return u.Min + Duration(span*r.Float64())
+}
+
+// Bounds implements Distribution.
+func (u Uniform) Bounds() (Duration, Duration) { return u.Min, u.Max }
+
+// TruncNormal samples a normal distribution truncated to [Min, Max],
+// modelling well-behaved compute kernels (e.g. point-cloud filters).
+type TruncNormal struct {
+	Mean, Stddev Duration
+	Min, Max     Duration
+}
+
+// Sample implements Distribution.
+func (t TruncNormal) Sample(r *RNG) Duration {
+	for i := 0; i < 64; i++ {
+		v := Duration(r.Normal(float64(t.Mean), float64(t.Stddev)))
+		if v >= t.Min && v <= t.Max {
+			return v
+		}
+	}
+	// Degenerate parameters: clamp the mean.
+	v := t.Mean
+	if v < t.Min {
+		v = t.Min
+	}
+	if v > t.Max {
+		v = t.Max
+	}
+	return v
+}
+
+// Bounds implements Distribution.
+func (t TruncNormal) Bounds() (Duration, Duration) { return t.Min, t.Max }
+
+// HeavyTail samples a right-skewed distribution truncated to [Min, Max],
+// modelling iterative solvers such as NDT matching whose worst case is far
+// above the average (paper: cb6 mACET 25.6 ms vs mWCET 60.9 ms).
+type HeavyTail struct {
+	Mu, Sigma float64 // parameters of the underlying log-normal, in ln(ns)
+	Min, Max  Duration
+}
+
+// Sample implements Distribution.
+func (h HeavyTail) Sample(r *RNG) Duration {
+	for i := 0; i < 64; i++ {
+		v := Duration(r.LogNormal(h.Mu, h.Sigma))
+		if v >= h.Min && v <= h.Max {
+			return v
+		}
+	}
+	return h.Min
+}
+
+// Bounds implements Distribution.
+func (h HeavyTail) Bounds() (Duration, Duration) { return h.Min, h.Max }
+
+// Mixture samples from A with probability P and from B otherwise. It
+// models bimodal behaviour such as a transport that is usually fast but
+// occasionally stalls (large fragmented samples, retransmissions).
+type Mixture struct {
+	P    float64 // probability of drawing from A
+	A, B Distribution
+}
+
+// Sample implements Distribution.
+func (m Mixture) Sample(r *RNG) Duration {
+	if r.Float64() < m.P {
+		return m.A.Sample(r)
+	}
+	return m.B.Sample(r)
+}
+
+// Bounds implements Distribution.
+func (m Mixture) Bounds() (Duration, Duration) {
+	aLo, aHi := m.A.Bounds()
+	bLo, bHi := m.B.Bounds()
+	if bLo < aLo {
+		aLo = bLo
+	}
+	if bHi > aHi {
+		aHi = bHi
+	}
+	return aLo, aHi
+}

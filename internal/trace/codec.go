@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/tracesynth/rostracer/internal/sim"
+)
+
+// Binary codec: a compact length-delimited record format used by the trace
+// database. Layout per record (little endian):
+//
+//	u32 recordLen (bytes after this field)
+//	u8  kind
+//	i64 time, u64 seq, u32 pid
+//	u64 cbid, i64 srcts, u64 ret
+//	i32 cpu, u32 prevPid, u32 nextPid, i32 prevPrio, i32 nextPrio, i32 prevState
+//	u16 nodeLen, node bytes
+//	u16 topicLen, topic bytes
+
+const binMagic = "RTRC1\n"
+
+// WriteBinary encodes t to w.
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	var scratch [90]byte
+	for _, e := range t.Events {
+		if len(e.Node) > 0xFFFF || len(e.Topic) > 0xFFFF {
+			return fmt.Errorf("trace: string field too long in event %v", e)
+		}
+		b := scratch[:0]
+		b = append(b, byte(e.Kind))
+		b = binary.LittleEndian.AppendUint64(b, uint64(e.Time))
+		b = binary.LittleEndian.AppendUint64(b, e.Seq)
+		b = binary.LittleEndian.AppendUint32(b, e.PID)
+		b = binary.LittleEndian.AppendUint64(b, e.CBID)
+		b = binary.LittleEndian.AppendUint64(b, uint64(e.SrcTS))
+		b = binary.LittleEndian.AppendUint64(b, e.Ret)
+		b = binary.LittleEndian.AppendUint32(b, uint32(e.CPU))
+		b = binary.LittleEndian.AppendUint32(b, e.PrevPID)
+		b = binary.LittleEndian.AppendUint32(b, e.NextPID)
+		b = binary.LittleEndian.AppendUint32(b, uint32(e.PrevPrio))
+		b = binary.LittleEndian.AppendUint32(b, uint32(e.NextPrio))
+		b = binary.LittleEndian.AppendUint32(b, uint32(e.PrevState))
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(e.Node)))
+		b = append(b, e.Node...)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(e.Topic)))
+		b = append(b, e.Topic...)
+
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(b)))
+		if _, err := bw.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != binMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	out := &Trace{}
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n < 61 || n > 1<<20 {
+			return nil, fmt.Errorf("trace: implausible record length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		e, err := decodeRecord(buf)
+		if err != nil {
+			return nil, err
+		}
+		out.Events = append(out.Events, e)
+	}
+}
+
+func decodeRecord(b []byte) (Event, error) {
+	var e Event
+	e.Kind = Kind(b[0])
+	if e.Kind == KindInvalid || e.Kind >= numKinds {
+		return e, fmt.Errorf("trace: invalid kind %d", b[0])
+	}
+	o := 1
+	u64 := func() uint64 { v := binary.LittleEndian.Uint64(b[o:]); o += 8; return v }
+	u32 := func() uint32 { v := binary.LittleEndian.Uint32(b[o:]); o += 4; return v }
+	e.Time = sim.Time(u64())
+	e.Seq = u64()
+	e.PID = u32()
+	e.CBID = u64()
+	e.SrcTS = int64(u64())
+	e.Ret = u64()
+	e.CPU = int32(u32())
+	e.PrevPID = u32()
+	e.NextPID = u32()
+	e.PrevPrio = int32(u32())
+	e.NextPrio = int32(u32())
+	e.PrevState = int32(u32())
+	nodeLen := int(binary.LittleEndian.Uint16(b[o:]))
+	o += 2
+	if o+nodeLen > len(b) {
+		return e, fmt.Errorf("trace: node string overruns record")
+	}
+	e.Node = string(b[o : o+nodeLen])
+	o += nodeLen
+	topicLen := int(binary.LittleEndian.Uint16(b[o:]))
+	o += 2
+	if o+topicLen > len(b) {
+		return e, fmt.Errorf("trace: topic string overruns record")
+	}
+	e.Topic = string(b[o : o+topicLen])
+	return e, nil
+}
+
+// jsonEvent is the JSONL wire form, with omission of empty fields.
+type jsonEvent struct {
+	T     int64  `json:"t"`
+	Seq   uint64 `json:"seq"`
+	PID   uint32 `json:"pid,omitempty"`
+	Kind  string `json:"kind"`
+	K     uint8  `json:"k"`
+	Node  string `json:"node,omitempty"`
+	CBID  uint64 `json:"cbid,omitempty"`
+	Topic string `json:"topic,omitempty"`
+	SrcTS int64  `json:"srcts,omitempty"`
+	Ret   uint64 `json:"ret,omitempty"`
+	CPU   int32  `json:"cpu,omitempty"`
+	PPID  uint32 `json:"prev_pid,omitempty"`
+	NPID  uint32 `json:"next_pid,omitempty"`
+	PPrio int32  `json:"prev_prio,omitempty"`
+	NPrio int32  `json:"next_prio,omitempty"`
+	PSt   int32  `json:"prev_state,omitempty"`
+}
+
+// WriteJSONL encodes t as one JSON object per line, a convenient form for
+// external tooling.
+func WriteJSONL(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range t.Events {
+		je := jsonEvent{
+			T: int64(e.Time), Seq: e.Seq, PID: e.PID, Kind: e.Kind.String(),
+			K: uint8(e.Kind), Node: e.Node, CBID: e.CBID, Topic: e.Topic,
+			SrcTS: e.SrcTS, Ret: e.Ret, CPU: e.CPU, PPID: e.PrevPID,
+			NPID: e.NextPID, PPrio: e.PrevPrio, NPrio: e.NextPrio, PSt: e.PrevState,
+		}
+		if err := enc.Encode(&je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes a trace written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(r)
+	out := &Trace{}
+	for {
+		var je jsonEvent
+		if err := dec.Decode(&je); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		out.Events = append(out.Events, Event{
+			Time: sim.Time(je.T), Seq: je.Seq, PID: je.PID, Kind: Kind(je.K),
+			Node: je.Node, CBID: je.CBID, Topic: je.Topic, SrcTS: je.SrcTS,
+			Ret: je.Ret, CPU: je.CPU, PrevPID: je.PPID, NextPID: je.NPID,
+			PrevPrio: je.PPrio, NextPrio: je.NPrio, PrevState: je.PSt,
+		})
+	}
+}

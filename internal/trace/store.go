@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Store is the "trace database" of Fig. 2: a directory of trace segments
+// grouped into sessions. Segment files are named
+// <session>-<segment>.rtrc and use the binary codec.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a trace database at dir.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: creating store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) segPath(session string, segment int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s-%04d.rtrc", session, segment))
+}
+
+// SaveSegment writes one trace segment for a session.
+func (s *Store) SaveSegment(session string, segment int, t *Trace) error {
+	f, err := os.Create(s.segPath(session, segment))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteBinary(f, t); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSegment reads one trace segment.
+func (s *Store) LoadSegment(session string, segment int) (*Trace, error) {
+	f, err := os.Open(s.segPath(session, segment))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+// Sessions lists distinct session names in the store, sorted.
+func (s *Store) Sessions() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	for _, ent := range entries {
+		name := ent.Name()
+		if filepath.Ext(name) != ".rtrc" {
+			continue
+		}
+		base := name[:len(name)-len(".rtrc")]
+		if len(base) > 5 && base[len(base)-5] == '-' {
+			seen[base[:len(base)-5]] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// LoadSession merges all segments of a session into one sorted trace.
+func (s *Store) LoadSession(session string) (*Trace, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var traces []*Trace
+	prefix := session + "-"
+	for _, ent := range entries {
+		name := ent.Name()
+		if filepath.Ext(name) != ".rtrc" || len(name) < len(prefix) || name[:len(prefix)] != prefix {
+			continue
+		}
+		f, err := os.Open(filepath.Join(s.dir, name))
+		if err != nil {
+			return nil, err
+		}
+		t, err := ReadBinary(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("trace: segment %s: %w", name, err)
+		}
+		traces = append(traces, t)
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("trace: session %q has no segments", session)
+	}
+	return Merge(traces...), nil
+}

@@ -1,0 +1,321 @@
+package tracers
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/tracesynth/rostracer/internal/dds"
+	"github.com/tracesynth/rostracer/internal/ebpf"
+	"github.com/tracesynth/rostracer/internal/msgfilters"
+	"github.com/tracesynth/rostracer/internal/rcl"
+	"github.com/tracesynth/rostracer/internal/rclcpp"
+	"github.com/tracesynth/rostracer/internal/rmw"
+	"github.com/tracesynth/rostracer/internal/sched"
+	"github.com/tracesynth/rostracer/internal/sim"
+	"github.com/tracesynth/rostracer/internal/trace"
+)
+
+// Bundle owns the three tracers of Fig. 1/Fig. 2 — TR_IN (ROS2-INIT),
+// TR_RT (ROS2-RT) and TR_KN (Kernel) — sharing one eBPF runtime, one PID
+// filter map, and a global emission-sequence counter so events from the
+// different perf buffers merge into a total order.
+type Bundle struct {
+	rt  *ebpf.Runtime
+	seq uint64
+
+	pidMap *ebpf.HashMap
+	entMap *ebpf.HashMap
+	srcMap *ebpf.HashMap
+
+	initPB *ebpf.PerfBuffer
+	rtPB   *ebpf.PerfBuffer
+	knPB   *ebpf.PerfBuffer
+
+	progs map[string]*ebpf.Program
+
+	initIDs []int
+	rtIDs   []int
+	knIDs   []int
+}
+
+// NewBundle constructs maps, perf buffers, and all probe programs, and
+// verifies ("loads") every program against rt. No probe is attached yet;
+// use the Start* methods.
+func NewBundle(rt *ebpf.Runtime) (*Bundle, error) {
+	b := &Bundle{rt: rt, progs: make(map[string]*ebpf.Program)}
+	b.pidMap = ebpf.NewHashMap("ros2_pids", 1024)
+	b.entMap = ebpf.NewHashMap("take_entity_addr", 4096)
+	b.srcMap = ebpf.NewHashMap("take_srcts_addr", 4096)
+	pidFD := rt.RegisterMap(b.pidMap)
+	entFD := rt.RegisterMap(b.entMap)
+	srcFD := rt.RegisterMap(b.srcMap)
+
+	b.initPB = ebpf.NewPerfBufferSeq("tr_in", 0, &b.seq)
+	b.rtPB = ebpf.NewPerfBufferSeq("tr_rt", 0, &b.seq)
+	b.knPB = ebpf.NewPerfBufferSeq("tr_kn", 0, &b.seq)
+	initFD := rt.RegisterMap(b.initPB)
+	rtFD := rt.RegisterMap(b.rtPB)
+	knFD := rt.RegisterMap(b.knPB)
+
+	add := func(p *ebpf.Program) *ebpf.Program {
+		b.progs[p.Name] = p
+		return p
+	}
+
+	add(createNodeProg(initFD, pidFD))
+
+	add(plainProg("p2_execute_timer_entry", trace.KindTimerCBStart, rtFD))
+	add(timerCallProg(rtFD))
+	add(plainProg("p4_execute_timer_exit", trace.KindTimerCBEnd, rtFD))
+	add(plainProg("p5_execute_subscription_entry", trace.KindSubCBStart, rtFD))
+	add(takeEntryProg("p6_rmw_take_int_entry", entFD, srcFD))
+	add(takeExitProg("p6_rmw_take_int_exit", trace.KindTakeInt, entFD, srcFD, rtFD))
+	add(plainProg("p7_msgfilters_operator", trace.KindSyncSubscribe, rtFD))
+	add(plainProg("p8_execute_subscription_exit", trace.KindSubCBEnd, rtFD))
+	add(plainProg("p9_execute_service_entry", trace.KindServiceCBStart, rtFD))
+	add(takeEntryProg("p10_rmw_take_request_entry", entFD, srcFD))
+	add(takeExitProg("p10_rmw_take_request_exit", trace.KindTakeRequest, entFD, srcFD, rtFD))
+	add(plainProg("p11_execute_service_exit", trace.KindServiceCBEnd, rtFD))
+	add(plainProg("p12_execute_client_entry", trace.KindClientCBStart, rtFD))
+	add(takeEntryProg("p13_rmw_take_response_entry", entFD, srcFD))
+	add(takeExitProg("p13_rmw_take_response_exit", trace.KindTakeResponse, entFD, srcFD, rtFD))
+	add(retProg("p14_take_type_erased_response", trace.KindTakeTypeErased, rtFD))
+	add(plainProg("p15_execute_client_exit", trace.KindClientCBEnd, rtFD))
+	add(ddsWriteProg(rtFD))
+
+	add(schedSwitchProg(pidFD, knFD, true))
+	add(schedSwitchProg(pidFD, knFD, false))
+	add(schedWakeupProg(pidFD, knFD))
+
+	for name, p := range b.progs {
+		if err := rt.Load(p, ctxWords); err != nil {
+			return nil, fmt.Errorf("tracers: loading %s: %w", name, err)
+		}
+	}
+	return b, nil
+}
+
+// Programs returns the loaded programs by name (for inspection and the
+// Table I experiment).
+func (b *Bundle) Programs() map[string]*ebpf.Program { return b.progs }
+
+// PIDMap exposes the ROS2-PID filter map (user-space side reads it to know
+// which PIDs the kernel tracer follows).
+func (b *Bundle) PIDMap() *ebpf.HashMap { return b.pidMap }
+
+func (b *Bundle) attach(ids *[]int, kind ebpf.AttachKind, sym ebpf.Symbol, tp string, prog string) error {
+	p, ok := b.progs[prog]
+	if !ok {
+		return fmt.Errorf("tracers: unknown program %q", prog)
+	}
+	var id int
+	var err error
+	switch kind {
+	case ebpf.AttachUprobe:
+		id, err = b.rt.AttachUprobe(sym, p)
+	case ebpf.AttachUretprobe:
+		id, err = b.rt.AttachUretprobe(sym, p)
+	default:
+		id, err = b.rt.AttachTracepoint(tp, p)
+	}
+	if err != nil {
+		return err
+	}
+	*ids = append(*ids, id)
+	return nil
+}
+
+func (b *Bundle) detach(ids *[]int) {
+	for _, id := range *ids {
+		b.rt.Detach(id)
+	}
+	*ids = nil
+}
+
+// StartInit attaches TR_IN (P1). It is activated before applications start
+// so that every node creation is observed.
+func (b *Bundle) StartInit() error {
+	return b.attach(&b.initIDs, ebpf.AttachUprobe, rmw.SymCreateNode, "", "p1_rmw_create_node")
+}
+
+// StopInit detaches TR_IN.
+func (b *Bundle) StopInit() { b.detach(&b.initIDs) }
+
+// StartRT attaches TR_RT (P2–P16).
+func (b *Bundle) StartRT() error {
+	type at struct {
+		kind ebpf.AttachKind
+		sym  ebpf.Symbol
+		prog string
+	}
+	plan := []at{
+		{ebpf.AttachUprobe, rclcpp.SymExecuteTimer, "p2_execute_timer_entry"},
+		{ebpf.AttachUprobe, rcl.SymTimerCall, "p3_rcl_timer_call"},
+		{ebpf.AttachUretprobe, rclcpp.SymExecuteTimer, "p4_execute_timer_exit"},
+		{ebpf.AttachUprobe, rclcpp.SymExecuteSubscription, "p5_execute_subscription_entry"},
+		{ebpf.AttachUprobe, rmw.SymTakeInt, "p6_rmw_take_int_entry"},
+		{ebpf.AttachUretprobe, rmw.SymTakeInt, "p6_rmw_take_int_exit"},
+		{ebpf.AttachUprobe, msgfilters.SymOperator, "p7_msgfilters_operator"},
+		{ebpf.AttachUretprobe, rclcpp.SymExecuteSubscription, "p8_execute_subscription_exit"},
+		{ebpf.AttachUprobe, rclcpp.SymExecuteService, "p9_execute_service_entry"},
+		{ebpf.AttachUprobe, rmw.SymTakeRequest, "p10_rmw_take_request_entry"},
+		{ebpf.AttachUretprobe, rmw.SymTakeRequest, "p10_rmw_take_request_exit"},
+		{ebpf.AttachUretprobe, rclcpp.SymExecuteService, "p11_execute_service_exit"},
+		{ebpf.AttachUprobe, rclcpp.SymExecuteClient, "p12_execute_client_entry"},
+		{ebpf.AttachUprobe, rmw.SymTakeResponse, "p13_rmw_take_response_entry"},
+		{ebpf.AttachUretprobe, rmw.SymTakeResponse, "p13_rmw_take_response_exit"},
+		{ebpf.AttachUretprobe, rclcpp.SymTakeTypeErased, "p14_take_type_erased_response"},
+		{ebpf.AttachUretprobe, rclcpp.SymExecuteClient, "p15_execute_client_exit"},
+		{ebpf.AttachUprobe, dds.SymWrite, "p16_dds_write_impl"},
+	}
+	for _, a := range plan {
+		if err := b.attach(&b.rtIDs, a.kind, a.sym, "", a.prog); err != nil {
+			b.detach(&b.rtIDs)
+			return err
+		}
+	}
+	return nil
+}
+
+// StopRT detaches TR_RT.
+func (b *Bundle) StopRT() { b.detach(&b.rtIDs) }
+
+// StartKernel attaches TR_KN to sched:sched_switch. filtered selects the
+// PID-filtered program (the paper's configuration); unfiltered records
+// every switch (the memory-footprint comparison baseline).
+func (b *Bundle) StartKernel(filtered bool) error {
+	prog := "sched_switch_filtered"
+	if !filtered {
+		prog = "sched_switch_unfiltered"
+	}
+	if err := b.attach(&b.knIDs, ebpf.AttachTracepoint, ebpf.Symbol{}, "sched:sched_switch", prog); err != nil {
+		return err
+	}
+	// The waiting-time extension (Sec. VII): wakeup events, PID-filtered.
+	return b.attach(&b.knIDs, ebpf.AttachTracepoint, ebpf.Symbol{}, "sched:sched_wakeup", "sched_wakeup_filtered")
+}
+
+// StopKernel detaches TR_KN.
+func (b *Bundle) StopKernel() { b.detach(&b.knIDs) }
+
+// StopAll detaches everything.
+func (b *Bundle) StopAll() {
+	b.StopInit()
+	b.StopRT()
+	b.StopKernel()
+}
+
+// TraceBytes reports the cumulative perf-buffer payload bytes across all
+// three tracers — the paper's trace-volume metric.
+func (b *Bundle) TraceBytes() uint64 {
+	return b.initPB.Bytes() + b.rtPB.Bytes() + b.knPB.Bytes()
+}
+
+// Lost reports records dropped due to perf-buffer capacity.
+func (b *Bundle) Lost() uint64 {
+	return b.initPB.Lost() + b.rtPB.Lost() + b.knPB.Lost()
+}
+
+// Drain decodes and merges all pending records from the three tracers into
+// one chronologically sorted trace.
+func (b *Bundle) Drain() (*trace.Trace, error) {
+	out := &trace.Trace{}
+	for _, pb := range []*ebpf.PerfBuffer{b.initPB, b.rtPB, b.knPB} {
+		for _, rec := range pb.Drain() {
+			ev, err := DecodeRecord(rec)
+			if err != nil {
+				return nil, err
+			}
+			out.Append(ev)
+		}
+	}
+	out.SortByTime()
+	return out, nil
+}
+
+// BridgeSched wires the simulated machine's scheduler notifications into
+// the kernel tracepoints, standing in for the kernel's static tracepoint
+// emission.
+func BridgeSched(m *sched.Machine, rt *ebpf.Runtime) {
+	m.OnSwitch = func(sw sched.Switch) {
+		rt.FireTracepoint("sched:sched_switch", sw.CPU,
+			uint64(sw.PrevPID), uint64(sw.PrevPrio), uint64(sw.PrevState),
+			uint64(sw.NextPID), uint64(sw.NextPrio))
+	}
+	m.OnWakeup = func(wu sched.Wakeup) {
+		rt.FireTracepoint("sched:sched_wakeup", 0, uint64(wu.PID), uint64(wu.Prio))
+	}
+}
+
+// DecodeRecord converts one perf record into a trace event.
+func DecodeRecord(rec ebpf.PerfRecord) (trace.Event, error) {
+	var e trace.Event
+	if len(rec.Data) < recPlainSize {
+		return e, fmt.Errorf("tracers: record too short: %d bytes", len(rec.Data))
+	}
+	f := func(i int) uint64 { return binary.LittleEndian.Uint64(rec.Data[i*8:]) }
+	kind := trace.Kind(f(0))
+	e.Kind = kind
+	e.Seq = rec.Seq
+
+	if kind == trace.KindSchedSwitch {
+		if len(rec.Data) != recSchedSize {
+			return e, fmt.Errorf("tracers: sched record has %d bytes", len(rec.Data))
+		}
+		e.CPU = int32(f(1))
+		e.Time = simTime(f(2))
+		e.PrevPID = uint32(f(3))
+		e.PrevPrio = int32(f(4))
+		e.PrevState = int32(f(5))
+		e.NextPID = uint32(f(6))
+		e.NextPrio = int32(f(7))
+		return e, nil
+	}
+
+	e.PID = uint32(f(1))
+	e.Time = simTime(f(2))
+	switch {
+	case kind == trace.KindSchedWakeup:
+		if len(rec.Data) != recIDSize {
+			return e, fmt.Errorf("tracers: wakeup record has %d bytes", len(rec.Data))
+		}
+		// pid slot holds the woken thread; mirror it into NextPID so that
+		// FilterPID picks wakeups up alongside switches.
+		e.NextPID = e.PID
+		e.NextPrio = int32(f(3))
+	case kind == trace.KindTimerCall:
+		if len(rec.Data) != recIDSize {
+			return e, fmt.Errorf("tracers: P3 record has %d bytes", len(rec.Data))
+		}
+		e.CBID = f(3)
+	case kind == trace.KindTakeTypeErased:
+		if len(rec.Data) != recRetSize {
+			return e, fmt.Errorf("tracers: P14 record has %d bytes", len(rec.Data))
+		}
+		e.Ret = f(3)
+	case kind == trace.KindCreateNode || kind.IsTake() || kind == trace.KindDDSWrite:
+		if len(rec.Data) != recFullSize {
+			return e, fmt.Errorf("tracers: %v record has %d bytes", kind, len(rec.Data))
+		}
+		e.CBID = f(3)
+		e.SrcTS = int64(f(4))
+		e.Ret = f(5)
+		s := rec.Data[48:recFullSize]
+		n := 0
+		for n < len(s) && s[n] != 0 {
+			n++
+		}
+		if kind == trace.KindCreateNode {
+			e.Node = string(s[:n])
+		} else {
+			e.Topic = string(s[:n])
+		}
+	default:
+		if len(rec.Data) != recPlainSize {
+			return e, fmt.Errorf("tracers: %v record has %d bytes", kind, len(rec.Data))
+		}
+	}
+	return e, nil
+}
+
+func simTime(v uint64) sim.Time { return sim.Time(v) }

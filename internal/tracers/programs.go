@@ -1,0 +1,349 @@
+// Package tracers implements the paper's three tracers as bundles of eBPF
+// programs: ROS2-INIT (P1), ROS2-RT (P2–P16) and Kernel (sched_switch,
+// PID-filtered through a BPF map populated by P1's program).
+//
+// Every probe is a verified bytecode program; argument structures are
+// traversed with probe_read/probe_read_str, and the source-timestamp
+// out-parameter is captured with the entry/exit address-map technique of
+// Sec. III-A. Programs write fixed-layout records into perf buffers; the
+// user-space side (decode.go) turns drained records into trace.Events.
+package tracers
+
+import (
+	"fmt"
+
+	"github.com/tracesynth/rostracer/internal/ebpf"
+	"github.com/tracesynth/rostracer/internal/rmw"
+	"github.com/tracesynth/rostracer/internal/trace"
+)
+
+// Record layouts (all fields u64, little endian):
+//
+//	plain (24B):  kind, pid, ts                       — P2,P4,P5,P7,P8,P9,P11,P12,P15
+//	id    (32B):  kind, pid, ts, cbid                 — P3
+//	ret   (32B):  kind, pid, ts, ret                  — P14
+//	full  (112B): kind, pid, ts, cbid, srcts, ret, 64-byte string — P1,P6,P10,P13,P16
+//	sched (64B):  kind, cpu, ts, prev_pid, prev_prio, prev_state, next_pid, next_prio
+const (
+	recPlainSize = 24
+	recIDSize    = 32
+	recRetSize   = 32
+	recFullSize  = 112
+	recSchedSize = 64
+	strFieldSize = 64
+)
+
+// Offsets within the full record, relative to the frame pointer.
+const (
+	fullBase  = -112
+	offKind   = fullBase
+	offPID    = fullBase + 8
+	offTS     = fullBase + 16
+	offCBID   = fullBase + 24
+	offSrcTS  = fullBase + 32
+	offRet    = fullBase + 40
+	offStr    = fullBase + 48
+	offScrtch = -120 // 8-byte scratch below the record
+)
+
+// ctxWords is the context width all tracer programs are verified against.
+const ctxWords = 8
+
+// emitPlainHeader writes kind, pid and timestamp at base (must not rely on
+// R1 still holding the context).
+func emitPlainHeader(a *ebpf.Assembler, kind trace.Kind, base int32) {
+	a.StImmStack(ebpf.R10, base, int64(kind), 8)
+	a.Call(ebpf.HelperGetCurrentPid)
+	a.StxStack(ebpf.R10, base+8, ebpf.R0, 8)
+	a.Call(ebpf.HelperKtimeGetNs)
+	a.StxStack(ebpf.R10, base+16, ebpf.R0, 8)
+}
+
+// emitOutput emits [base, base+size) into the perf buffer fd.
+func emitOutput(a *ebpf.Assembler, pbFD int64, base int32, size int64) {
+	a.MovImm(ebpf.R1, pbFD)
+	a.MovReg(ebpf.R2, ebpf.R10)
+	a.AddImm(ebpf.R2, int64(base))
+	a.MovImm(ebpf.R3, size)
+	a.Call(ebpf.HelperPerfOutput)
+}
+
+// emitProbeRead reads size bytes from the address in srcReg into fp+dstOff.
+func emitProbeRead(a *ebpf.Assembler, dstOff int32, size int64, srcReg ebpf.Reg) {
+	a.MovReg(ebpf.R1, ebpf.R10)
+	a.AddImm(ebpf.R1, int64(dstOff))
+	a.MovImm(ebpf.R2, size)
+	a.MovReg(ebpf.R3, srcReg)
+	a.Call(ebpf.HelperProbeRead)
+}
+
+// emitProbeReadStr reads a C string from the address in srcReg into
+// fp+dstOff (size bytes, NUL padded).
+func emitProbeReadStr(a *ebpf.Assembler, dstOff int32, size int64, srcReg ebpf.Reg) {
+	a.MovReg(ebpf.R1, ebpf.R10)
+	a.AddImm(ebpf.R1, int64(dstOff))
+	a.MovImm(ebpf.R2, size)
+	a.MovReg(ebpf.R3, srcReg)
+	a.Call(ebpf.HelperProbeReadStr)
+}
+
+// plainProg builds the program for header-only probes.
+func plainProg(name string, kind trace.Kind, pbFD int64) *ebpf.Program {
+	a := ebpf.NewAssembler(name)
+	emitPlainHeader(a, kind, -recPlainSize)
+	emitOutput(a, pbFD, -recPlainSize, recPlainSize)
+	a.MovImm(ebpf.R0, 0).Exit()
+	return a.MustAssemble()
+}
+
+// retProg builds P14: record the uretprobe's return value (ctx word 0).
+func retProg(name string, kind trace.Kind, pbFD int64) *ebpf.Program {
+	a := ebpf.NewAssembler(name)
+	a.LdxCtx(ebpf.R6, ebpf.R1, 0) // return value, before helpers clobber R1
+	emitPlainHeader(a, kind, -recRetSize)
+	a.StxStack(ebpf.R10, -recRetSize+24, ebpf.R6, 8)
+	emitOutput(a, pbFD, -recRetSize, recRetSize)
+	a.MovImm(ebpf.R0, 0).Exit()
+	return a.MustAssemble()
+}
+
+// timerCallProg builds P3: the timer descriptor address is argument 0; its
+// first field is the callback handle.
+func timerCallProg(pbFD int64) *ebpf.Program {
+	a := ebpf.NewAssembler("p3_rcl_timer_call")
+	a.LdxCtx(ebpf.R6, ebpf.R1, 0) // timer descriptor address
+	emitPlainHeader(a, trace.KindTimerCall, -recIDSize)
+	emitProbeRead(a, -recIDSize+24, 8, ebpf.R6) // cbid = *(u64*)(timer+0)
+	emitOutput(a, pbFD, -recIDSize, recIDSize)
+	a.MovImm(ebpf.R0, 0).Exit()
+	return a.MustAssemble()
+}
+
+// createNodeProg builds P1: emit the node name and register the PID in the
+// kernel tracer's filter map (the paper shares P1's PIDs with the
+// sched_switch handler through a BPF map).
+func createNodeProg(pbFD, pidMapFD int64) *ebpf.Program {
+	a := ebpf.NewAssembler("p1_rmw_create_node")
+	a.LdxCtx(ebpf.R6, ebpf.R1, 0) // node name address
+	a.Call(ebpf.HelperGetCurrentPid)
+	a.MovReg(ebpf.R8, ebpf.R0)
+	a.MovImm(ebpf.R1, pidMapFD)
+	a.MovReg(ebpf.R2, ebpf.R8)
+	a.MovImm(ebpf.R3, 1)
+	a.Call(ebpf.HelperMapUpdate)
+
+	a.StImmStack(ebpf.R10, offKind, int64(trace.KindCreateNode), 8)
+	a.StxStack(ebpf.R10, offPID, ebpf.R8, 8)
+	a.Call(ebpf.HelperKtimeGetNs)
+	a.StxStack(ebpf.R10, offTS, ebpf.R0, 8)
+	a.StImmStack(ebpf.R10, offCBID, 0, 8)
+	a.StImmStack(ebpf.R10, offSrcTS, 0, 8)
+	a.StImmStack(ebpf.R10, offRet, 0, 8)
+	emitProbeReadStr(a, offStr, strFieldSize, ebpf.R6)
+	emitOutput(a, pbFD, fullBase, recFullSize)
+	a.MovImm(ebpf.R0, 0).Exit()
+	return a.MustAssemble()
+}
+
+// takeEntryProg builds the entry half of P6/P10/P13: remember the entity
+// and srcTS-out-parameter addresses in per-PID maps.
+func takeEntryProg(name string, entMapFD, srcMapFD int64) *ebpf.Program {
+	a := ebpf.NewAssembler(name)
+	a.LdxCtx(ebpf.R6, ebpf.R1, 0) // entity descriptor address
+	a.LdxCtx(ebpf.R7, ebpf.R1, 2) // &source_timestamp
+	a.Call(ebpf.HelperGetCurrentPid)
+	a.MovReg(ebpf.R8, ebpf.R0)
+	a.MovImm(ebpf.R1, entMapFD)
+	a.MovReg(ebpf.R2, ebpf.R8)
+	a.MovReg(ebpf.R3, ebpf.R6)
+	a.Call(ebpf.HelperMapUpdate)
+	a.MovImm(ebpf.R1, srcMapFD)
+	a.MovReg(ebpf.R2, ebpf.R8)
+	a.MovReg(ebpf.R3, ebpf.R7)
+	a.Call(ebpf.HelperMapUpdate)
+	a.MovImm(ebpf.R0, 0).Exit()
+	return a.MustAssemble()
+}
+
+// takeExitProg builds the exit half of P6/P10/P13: recover the stored
+// addresses, dereference the now-filled source timestamp, walk the entity
+// descriptor for the callback handle and topic name, emit, clean up.
+func takeExitProg(name string, kind trace.Kind, entMapFD, srcMapFD, pbFD int64) *ebpf.Program {
+	a := ebpf.NewAssembler(name)
+	a.Call(ebpf.HelperGetCurrentPid)
+	a.MovReg(ebpf.R8, ebpf.R0)
+	a.MovImm(ebpf.R1, entMapFD)
+	a.MovReg(ebpf.R2, ebpf.R8)
+	a.Call(ebpf.HelperMapLookup)
+	a.JeqImm(ebpf.R0, 0, "skip")
+	a.MovReg(ebpf.R6, ebpf.R0) // entity address
+	a.MovImm(ebpf.R1, srcMapFD)
+	a.MovReg(ebpf.R2, ebpf.R8)
+	a.Call(ebpf.HelperMapLookup)
+	a.JeqImm(ebpf.R0, 0, "skip")
+	a.MovReg(ebpf.R7, ebpf.R0) // &source_timestamp
+
+	a.StImmStack(ebpf.R10, offKind, int64(kind), 8)
+	a.StxStack(ebpf.R10, offPID, ebpf.R8, 8)
+	a.Call(ebpf.HelperKtimeGetNs)
+	a.StxStack(ebpf.R10, offTS, ebpf.R0, 8)
+	emitProbeRead(a, offCBID, 8, ebpf.R6) // cbid = entity->handle
+	emitProbeRead(a, offSrcTS, 8, ebpf.R7)
+	a.StImmStack(ebpf.R10, offRet, 0, 8)
+	// topic = probe_read_str(entity->name)
+	a.MovReg(ebpf.R9, ebpf.R6)
+	a.AddImm(ebpf.R9, rmw.EntityTopicPtrOff)
+	emitProbeRead(a, offScrtch, 8, ebpf.R9)
+	a.LdxStack(ebpf.R9, ebpf.R10, offScrtch, 8)
+	emitProbeReadStr(a, offStr, strFieldSize, ebpf.R9)
+	emitOutput(a, pbFD, fullBase, recFullSize)
+
+	a.MovImm(ebpf.R1, entMapFD)
+	a.MovReg(ebpf.R2, ebpf.R8)
+	a.Call(ebpf.HelperMapDelete)
+	a.MovImm(ebpf.R1, srcMapFD)
+	a.MovReg(ebpf.R2, ebpf.R8)
+	a.Call(ebpf.HelperMapDelete)
+	a.Label("skip")
+	a.MovImm(ebpf.R0, 0).Exit()
+	return a.MustAssemble()
+}
+
+// ddsWriteProg builds P16: the writer descriptor is argument 0 and the
+// source timestamp is passed by value as argument 2.
+func ddsWriteProg(pbFD int64) *ebpf.Program {
+	a := ebpf.NewAssembler("p16_dds_write_impl")
+	a.LdxCtx(ebpf.R6, ebpf.R1, 0) // writer descriptor address
+	a.LdxCtx(ebpf.R7, ebpf.R1, 2) // source timestamp value
+	emitPlainHeader(a, trace.KindDDSWrite, fullBase)
+	a.StImmStack(ebpf.R10, offCBID, 0, 8)
+	a.StxStack(ebpf.R10, offSrcTS, ebpf.R7, 8)
+	a.StImmStack(ebpf.R10, offRet, 0, 8)
+	emitProbeRead(a, offScrtch, 8, ebpf.R6) // topic name pointer
+	a.LdxStack(ebpf.R9, ebpf.R10, offScrtch, 8)
+	emitProbeReadStr(a, offStr, strFieldSize, ebpf.R9)
+	emitOutput(a, pbFD, fullBase, recFullSize)
+	a.MovImm(ebpf.R0, 0).Exit()
+	return a.MustAssemble()
+}
+
+// Sched record offsets.
+const (
+	schedBase     = -recSchedSize
+	offSchedKind  = schedBase
+	offSchedCPU   = schedBase + 8
+	offSchedTS    = schedBase + 16
+	offSchedPPID  = schedBase + 24
+	offSchedPPrio = schedBase + 32
+	offSchedPSt   = schedBase + 40
+	offSchedNPID  = schedBase + 48
+	offSchedNPrio = schedBase + 56
+)
+
+// schedSwitchProg builds the sched_switch handler. With filtering enabled
+// it drops events where neither PID is a ROS2 node, the memory-footprint
+// optimization of Sec. III-B; unfiltered mode records everything (the
+// comparison baseline).
+func schedSwitchProg(pidMapFD, pbFD int64, filtered bool) *ebpf.Program {
+	name := "sched_switch_filtered"
+	if !filtered {
+		name = "sched_switch_unfiltered"
+	}
+	a := ebpf.NewAssembler(name)
+	// Spill tracepoint fields into the record while R1 is still the ctx:
+	// prev_pid, prev_prio, prev_state, next_pid, next_prio.
+	a.LdxCtx(ebpf.R6, ebpf.R1, 0)
+	a.StxStack(ebpf.R10, offSchedPPID, ebpf.R6, 8)
+	a.LdxCtx(ebpf.R6, ebpf.R1, 1)
+	a.StxStack(ebpf.R10, offSchedPPrio, ebpf.R6, 8)
+	a.LdxCtx(ebpf.R6, ebpf.R1, 2)
+	a.StxStack(ebpf.R10, offSchedPSt, ebpf.R6, 8)
+	a.LdxCtx(ebpf.R6, ebpf.R1, 3)
+	a.StxStack(ebpf.R10, offSchedNPID, ebpf.R6, 8)
+	a.LdxCtx(ebpf.R6, ebpf.R1, 4)
+	a.StxStack(ebpf.R10, offSchedNPrio, ebpf.R6, 8)
+
+	if filtered {
+		a.LdxStack(ebpf.R6, ebpf.R10, offSchedPPID, 8)
+		a.MovImm(ebpf.R1, pidMapFD)
+		a.MovReg(ebpf.R2, ebpf.R6)
+		a.Call(ebpf.HelperMapLookupExist)
+		a.JneImm(ebpf.R0, 0, "keep")
+		a.LdxStack(ebpf.R7, ebpf.R10, offSchedNPID, 8)
+		a.MovImm(ebpf.R1, pidMapFD)
+		a.MovReg(ebpf.R2, ebpf.R7)
+		a.Call(ebpf.HelperMapLookupExist)
+		a.JneImm(ebpf.R0, 0, "keep")
+		a.MovImm(ebpf.R0, 0).Exit()
+		a.Label("keep")
+	}
+	a.StImmStack(ebpf.R10, offSchedKind, int64(trace.KindSchedSwitch), 8)
+	a.Call(ebpf.HelperGetSmpProcID)
+	a.StxStack(ebpf.R10, offSchedCPU, ebpf.R0, 8)
+	a.Call(ebpf.HelperKtimeGetNs)
+	a.StxStack(ebpf.R10, offSchedTS, ebpf.R0, 8)
+	emitOutput(a, pbFD, schedBase, recSchedSize)
+	a.MovImm(ebpf.R0, 0).Exit()
+	return a.MustAssemble()
+}
+
+// schedWakeupProg builds the sched_wakeup handler (Sec. VII extension):
+// it records when a ROS2 node's executor thread becomes runnable, enabling
+// per-callback waiting-time measurement. Filtered by the same PID map as
+// sched_switch. Record: "id" layout with the woken PID in the pid slot and
+// its priority in the fourth word.
+func schedWakeupProg(pidMapFD, pbFD int64) *ebpf.Program {
+	a := ebpf.NewAssembler("sched_wakeup_filtered")
+	a.LdxCtx(ebpf.R6, ebpf.R1, 0) // woken pid
+	a.LdxCtx(ebpf.R7, ebpf.R1, 1) // prio
+	a.MovImm(ebpf.R1, pidMapFD)
+	a.MovReg(ebpf.R2, ebpf.R6)
+	a.Call(ebpf.HelperMapLookupExist)
+	a.JneImm(ebpf.R0, 0, "keep")
+	a.MovImm(ebpf.R0, 0).Exit()
+	a.Label("keep")
+	a.StImmStack(ebpf.R10, -recIDSize, int64(trace.KindSchedWakeup), 8)
+	a.StxStack(ebpf.R10, -recIDSize+8, ebpf.R6, 8)
+	a.Call(ebpf.HelperKtimeGetNs)
+	a.StxStack(ebpf.R10, -recIDSize+16, ebpf.R0, 8)
+	a.StxStack(ebpf.R10, -recIDSize+24, ebpf.R7, 8)
+	emitOutput(a, pbFD, -recIDSize, recIDSize)
+	a.MovImm(ebpf.R0, 0).Exit()
+	return a.MustAssemble()
+}
+
+// ProbeSpec describes one Table I row for documentation and the Table I
+// experiment.
+type ProbeSpec struct {
+	No        string
+	Lib       string
+	Func      string
+	EventKind trace.Kind
+	Purpose   string
+}
+
+// TableI lists the inserted probes exactly as in the paper's Table I.
+var TableI = []ProbeSpec{
+	{"P1", "rmw_cyclonedds_cpp", "rmw_create_node", trace.KindCreateNode, "node name and executor PID"},
+	{"P2", "rclcpp", "execute_timer", trace.KindTimerCBStart, "timer CB starts"},
+	{"P3", "rcl", "rcl_timer_call", trace.KindTimerCall, "timer CB ID"},
+	{"P4", "rclcpp", "execute_timer", trace.KindTimerCBEnd, "timer CB ends"},
+	{"P5", "rclcpp", "execute_subscription", trace.KindSubCBStart, "subscriber CB starts"},
+	{"P6", "rmw_cyclonedds_cpp", "rmw_take_int", trace.KindTakeInt, "read event: sub CB ID, topic, srcTS"},
+	{"P7", "message_filters", "operator", trace.KindSyncSubscribe, "subscriber CB used for data synchronization"},
+	{"P8", "rclcpp", "execute_subscription", trace.KindSubCBEnd, "subscriber CB ends"},
+	{"P9", "rclcpp", "execute_service", trace.KindServiceCBStart, "service CB starts"},
+	{"P10", "rmw_cyclonedds_cpp", "rmw_take_request", trace.KindTakeRequest, "request received: svc CB ID, service, srcTS"},
+	{"P11", "rclcpp", "execute_service", trace.KindServiceCBEnd, "service CB ends"},
+	{"P12", "rclcpp", "execute_client", trace.KindClientCBStart, "client CB starts"},
+	{"P13", "rmw_cyclonedds_cpp", "rmw_take_response", trace.KindTakeResponse, "response received: client CB ID, service, srcTS"},
+	{"P14", "rclcpp", "take_type_erased_response", trace.KindTakeTypeErased, "whether client CB will be dispatched"},
+	{"P15", "rclcpp", "execute_client", trace.KindClientCBEnd, "client CB ends"},
+	{"P16", "cyclonedds", "dds_write_impl", trace.KindDDSWrite, "write event: topic and srcTS"},
+}
+
+func init() {
+	if len(TableI) != 16 {
+		panic(fmt.Sprintf("tracers: Table I has %d probes, want 16", len(TableI)))
+	}
+}
