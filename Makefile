@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test vet check bench bench-smoke baseline
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+check: vet build test
+
+# Full benchmark suite with allocation reporting.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# One-iteration structural smoke pass (used by CI).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x .
+
+# Regenerate the BENCH_baseline.json snapshot future perf PRs compare
+# against.
+baseline:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms . | python3 scripts/bench_to_json.py > BENCH_baseline.json
+	@echo wrote BENCH_baseline.json

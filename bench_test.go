@@ -218,11 +218,181 @@ func BenchmarkEBPF_ProbeDispatch(b *testing.B) {
 	}
 	node := w.NewNode("bench", 5, 0)
 	_ = node
-	sym := ebpf.Symbol{Lib: "rclcpp", Func: "execute_subscription"}
+	// Fire through a pre-resolved site, as the middleware does.
+	site := w.Runtime().Site(ebpf.Symbol{Lib: "rclcpp", Func: "execute_subscription"})
+	pid := node.PID()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w.Runtime().FireUprobe(node.PID(), 0, sym)
+		site.FireEntry(pid, 0)
+		if i&4095 == 4095 {
+			// Drain like the user-space poller does; an undrained
+			// buffer measures slice growth, not dispatch.
+			b.StopTimer()
+			bundle.Drain()
+			b.StartTimer()
+		}
+	}
+}
+
+// dispatchRuntime builds a runtime with a representative tracer-shaped
+// program (ctx loads, ALU, branches, four map-helper calls, no perf
+// output so the workload is pure dispatch) attached to one uprobe.
+func dispatchRuntime(b *testing.B, predecode bool) (*ebpf.Runtime, ebpf.Symbol) {
+	b.Helper()
+	rt := ebpf.NewRuntime(func() int64 { return 42 }, nil)
+	rt.SetPredecode(predecode)
+	hm := ebpf.NewHashMap("state", 1024)
+	fd := rt.RegisterMap(hm)
+	p := ebpf.NewAssembler("dispatch_bench").
+		LdxCtx(ebpf.R6, ebpf.R1, 0).
+		LdxCtx(ebpf.R7, ebpf.R1, 1).
+		MovReg(ebpf.R8, ebpf.R6).
+		MulImm(ebpf.R8, 31).
+		AddReg(ebpf.R8, ebpf.R7).
+		AndImm(ebpf.R8, 0xff).
+		JgtImm(ebpf.R8, 128, "high").
+		AddImm(ebpf.R8, 17).
+		Ja("store").
+		Label("high").
+		SubImm(ebpf.R8, 9).
+		Label("store").
+		MovImm(ebpf.R1, fd).
+		MovReg(ebpf.R2, ebpf.R8).
+		MovReg(ebpf.R3, ebpf.R6).
+		Call(ebpf.HelperMapUpdate).
+		MovImm(ebpf.R1, fd).
+		MovReg(ebpf.R2, ebpf.R8).
+		Call(ebpf.HelperMapLookup).
+		MovReg(ebpf.R9, ebpf.R0).
+		MovImm(ebpf.R1, fd).
+		MovImm(ebpf.R2, 999).
+		Call(ebpf.HelperMapLookupExist).
+		AddReg(ebpf.R9, ebpf.R0).
+		Call(ebpf.HelperKtimeGetNs).
+		AddReg(ebpf.R9, ebpf.R0).
+		Call(ebpf.HelperGetCurrentPid).
+		AddReg(ebpf.R9, ebpf.R0).
+		MovReg(ebpf.R0, ebpf.R9).
+		Exit().
+		MustAssemble()
+	if err := rt.Load(p, 2); err != nil {
+		b.Fatal(err)
+	}
+	sym := ebpf.Symbol{Lib: "rclcpp", Func: "bench_target"}
+	if _, err := rt.AttachUprobe(sym, p); err != nil {
+		b.Fatal(err)
+	}
+	return rt, sym
+}
+
+// BenchmarkEBPF_DispatchDecoded measures one probe fire through the
+// load-time pre-decoded dispatch form.
+func BenchmarkEBPF_DispatchDecoded(b *testing.B) {
+	rt, sym := dispatchRuntime(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.FireUprobe(7, 0, sym, uint64(i), uint64(i>>3))
+	}
+}
+
+// BenchmarkEBPF_DispatchRaw measures the same fire through the raw
+// reference interpreter (per-retire operand resolution and map-fd
+// hashing) — the before side of the decode optimization.
+func BenchmarkEBPF_DispatchRaw(b *testing.B) {
+	rt, sym := dispatchRuntime(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.FireUprobe(7, 0, sym, uint64(i), uint64(i>>3))
+	}
+}
+
+// benchDAG builds a synthetic DAG large enough to expose query scaling:
+// a layered graph with fan-in and fan-out.
+func benchDAG(vertices, width int) *core.DAG {
+	d := core.NewDAG()
+	key := func(i int) string {
+		return "node" + string(rune('A'+i%26)) + "|sub|" + string(rune('0'+i%10)) + string(rune('a'+(i/26)%26))
+	}
+	for i := 0; i < vertices; i++ {
+		d.Vertices[key(i)] = &core.Vertex{Key: key(i)}
+	}
+	for i := 0; i < vertices; i++ {
+		for j := 1; j <= width; j++ {
+			d.AddEdge(core.Edge{From: key(i), To: key((i + j) % vertices), Topic: "/t"})
+		}
+	}
+	return d
+}
+
+// BenchmarkDAG_EdgeQueries measures InEdges/OutEdges over every vertex of
+// a 260-vertex, ~1300-edge DAG — the access pattern of the analysis
+// passes (chains, junction classification).
+func BenchmarkDAG_EdgeQueries(b *testing.B) {
+	d := benchDAG(260, 5)
+	keys := d.VertexKeys()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, k := range keys {
+			total += len(d.InEdges(k)) + len(d.OutEdges(k))
+		}
+		if total == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+// BenchmarkDAG_VertexByLabelSubstring measures the label lookup the
+// Table II row mapping performs per callback.
+func BenchmarkDAG_VertexByLabelSubstring(b *testing.B) {
+	d := benchDAG(260, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := d.VertexByLabelSubstring("nodeZ|sub"); v == nil {
+			b.Fatal("missing vertex")
+		}
+	}
+}
+
+// BenchmarkTrace_MergeSorted measures merging 4 already-sorted segments
+// (the Fig. 2 segmented-session path) through the k-way merge.
+func BenchmarkTrace_MergeSorted(b *testing.B) {
+	tr := avpTrace(b, 8*sim.Second)
+	quarter := tr.Len() / 4
+	var segs []*trace.Trace
+	for i := 0; i < 4; i++ {
+		seg := &trace.Trace{Events: tr.Events[i*quarter : (i+1)*quarter]}
+		segs = append(segs, seg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := trace.Merge(segs...)
+		if m.Len() != 4*quarter {
+			b.Fatal("merge lost events")
+		}
+	}
+}
+
+// BenchmarkTrace_FilterPID measures the per-PID sub-trace split Algorithm 1
+// performs for every traced process.
+func BenchmarkTrace_FilterPID(b *testing.B) {
+	tr := avpTrace(b, 8*sim.Second)
+	pids := tr.PIDs()
+	if len(pids) == 0 {
+		b.Fatal("no pids")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tr.FilterPID(pids[i%len(pids)]).Len() == 0 {
+			b.Fatal("empty filter")
+		}
 	}
 }
 

@@ -1,0 +1,3 @@
+module github.com/tracesynth/rostracer
+
+go 1.24

@@ -59,19 +59,39 @@ type Edge struct {
 	Topic    string // undecorated topic name
 }
 
-// DAG is the synthesized timing model.
+// DAG is the synthesized timing model. Alongside the edge set it maintains
+// per-vertex in/out adjacency indexes (updated in AddEdge) and a sorted
+// edge-list cache, so edge queries cost O(degree) and repeated Edges()
+// calls don't re-sort.
 type DAG struct {
 	Vertices map[string]*Vertex
 	edgeSet  map[Edge]struct{}
+
+	inIdx  map[string][]Edge // To -> edges into it, insertion order
+	outIdx map[string][]Edge // From -> edges out of it, insertion order
+	sorted []Edge            // Edges() cache; nil when dirty
 }
 
 // NewDAG returns an empty model.
 func NewDAG() *DAG {
-	return &DAG{Vertices: make(map[string]*Vertex), edgeSet: make(map[Edge]struct{})}
+	return &DAG{
+		Vertices: make(map[string]*Vertex),
+		edgeSet:  make(map[Edge]struct{}),
+		inIdx:    make(map[string][]Edge),
+		outIdx:   make(map[string][]Edge),
+	}
 }
 
-// AddEdge inserts e if absent.
-func (d *DAG) AddEdge(e Edge) { d.edgeSet[e] = struct{}{} }
+// AddEdge inserts e if absent and updates the adjacency indexes.
+func (d *DAG) AddEdge(e Edge) {
+	if _, ok := d.edgeSet[e]; ok {
+		return
+	}
+	d.edgeSet[e] = struct{}{}
+	d.inIdx[e.To] = append(d.inIdx[e.To], e)
+	d.outIdx[e.From] = append(d.outIdx[e.From], e)
+	d.sorted = nil
+}
 
 // HasEdge reports whether e exists.
 func (d *DAG) HasEdge(e Edge) bool {
@@ -79,23 +99,29 @@ func (d *DAG) HasEdge(e Edge) bool {
 	return ok
 }
 
-// Edges returns the edges sorted by (From, To, Topic).
-func (d *DAG) Edges() []Edge {
-	out := make([]Edge, 0, len(d.edgeSet))
-	for e := range d.edgeSet {
-		out = append(out, e)
+func edgeLess(a, b Edge) bool {
+	if a.From != b.From {
+		return a.From < b.From
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.From != b.From {
-			return a.From < b.From
+	if a.To != b.To {
+		return a.To < b.To
+	}
+	return a.Topic < b.Topic
+}
+
+// Edges returns the edges sorted by (From, To, Topic). The slice is cached
+// until the next AddEdge and shared across calls; callers must not modify
+// it.
+func (d *DAG) Edges() []Edge {
+	if d.sorted == nil {
+		out := make([]Edge, 0, len(d.edgeSet))
+		for e := range d.edgeSet {
+			out = append(out, e)
 		}
-		if a.To != b.To {
-			return a.To < b.To
-		}
-		return a.Topic < b.Topic
-	})
-	return out
+		sort.Slice(out, func(i, j int) bool { return edgeLess(out[i], out[j]) })
+		d.sorted = out
+	}
+	return d.sorted
 }
 
 // VertexKeys returns the vertex keys sorted.
@@ -109,35 +135,40 @@ func (d *DAG) VertexKeys() []string {
 }
 
 // VertexByLabelSubstring returns the first vertex (key order) whose key
-// contains s; a convenience for tests and examples.
+// contains s; a convenience for tests and examples. It scans the vertex map
+// directly, tracking the smallest matching key, instead of sorting every
+// key on each call.
 func (d *DAG) VertexByLabelSubstring(s string) *Vertex {
-	for _, k := range d.VertexKeys() {
-		if strings.Contains(k, s) {
-			return d.Vertices[k]
+	best := ""
+	found := false
+	for k := range d.Vertices {
+		if strings.Contains(k, s) && (!found || k < best) {
+			best, found = k, true
 		}
 	}
-	return nil
+	if !found {
+		return nil
+	}
+	return d.Vertices[best]
 }
 
-// InEdges returns the edges into key.
+// InEdges returns the edges into key, sorted by (From, To, Topic).
 func (d *DAG) InEdges(key string) []Edge {
-	var out []Edge
-	for _, e := range d.Edges() {
-		if e.To == key {
-			out = append(out, e)
-		}
-	}
-	return out
+	return sortedAdjacency(d.inIdx[key])
 }
 
-// OutEdges returns the edges out of key.
+// OutEdges returns the edges out of key, sorted by (From, To, Topic).
 func (d *DAG) OutEdges(key string) []Edge {
-	var out []Edge
-	for _, e := range d.Edges() {
-		if e.From == key {
-			out = append(out, e)
-		}
+	return sortedAdjacency(d.outIdx[key])
+}
+
+func sortedAdjacency(list []Edge) []Edge {
+	if len(list) == 0 {
+		return nil
 	}
+	out := make([]Edge, len(list))
+	copy(out, list)
+	sort.Slice(out, func(i, j int) bool { return edgeLess(out[i], out[j]) })
 	return out
 }
 

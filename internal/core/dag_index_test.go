@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// referenceInEdges/referenceOutEdges are the pre-index O(E log E)
+// implementations, kept as the oracle for the adjacency indexes.
+func referenceInEdges(d *DAG, key string) []Edge {
+	var out []Edge
+	for _, e := range d.Edges() {
+		if e.To == key {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func referenceOutEdges(d *DAG, key string) []Edge {
+	var out []Edge
+	for _, e := range d.Edges() {
+		if e.From == key {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestDAGAdjacencyIndexConsistency interleaves AddEdge calls (including
+// duplicates) with queries and checks the indexes always agree with the
+// brute-force scan over the sorted edge list.
+func TestDAGAdjacencyIndexConsistency(t *testing.T) {
+	d := NewDAG()
+	vertices := []string{"a", "b", "c", "d", "e"}
+	check := func(step string) {
+		t.Helper()
+		for _, v := range vertices {
+			if got, want := d.InEdges(v), referenceInEdges(d, v); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: InEdges(%s) = %v, want %v", step, v, got, want)
+			}
+			if got, want := d.OutEdges(v), referenceOutEdges(d, v); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: OutEdges(%s) = %v, want %v", step, v, got, want)
+			}
+		}
+	}
+
+	check("empty")
+	// Deterministic pseudo-random interleaving of inserts and duplicates.
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func(n int) int {
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		return int((state * 0x2545f4914f6cdd1d) >> 33 % uint64(n))
+	}
+	var inserted []Edge
+	for i := 0; i < 200; i++ {
+		var e Edge
+		if len(inserted) > 0 && i%5 == 4 {
+			e = inserted[next(len(inserted))] // duplicate insert
+		} else {
+			e = Edge{
+				From:  vertices[next(len(vertices))],
+				To:    vertices[next(len(vertices))],
+				Topic: fmt.Sprintf("/t%d", next(7)),
+			}
+		}
+		d.AddEdge(e)
+		inserted = append(inserted, e)
+		if i%17 == 0 {
+			check(fmt.Sprintf("step %d", i))
+		}
+	}
+	check("final")
+
+	// Edge count matches the deduplicated set.
+	uniq := make(map[Edge]struct{})
+	for _, e := range inserted {
+		uniq[e] = struct{}{}
+	}
+	if len(d.Edges()) != len(uniq) {
+		t.Fatalf("Edges() = %d, want %d unique", len(d.Edges()), len(uniq))
+	}
+	for e := range uniq {
+		if !d.HasEdge(e) {
+			t.Fatalf("HasEdge(%v) = false after insert", e)
+		}
+	}
+}
+
+// TestEdgesCacheInvalidation checks the sorted-edge cache is rebuilt after
+// AddEdge and that repeated calls return a consistent sorted view.
+func TestEdgesCacheInvalidation(t *testing.T) {
+	d := NewDAG()
+	d.AddEdge(Edge{From: "b", To: "c", Topic: "/1"})
+	d.AddEdge(Edge{From: "a", To: "b", Topic: "/1"})
+	first := d.Edges()
+	if len(first) != 2 || first[0].From != "a" {
+		t.Fatalf("edges not sorted: %v", first)
+	}
+	if again := d.Edges(); &again[0] != &first[0] {
+		t.Fatal("Edges() did not reuse the cache between AddEdge calls")
+	}
+	d.AddEdge(Edge{From: "0", To: "a", Topic: "/1"})
+	after := d.Edges()
+	if len(after) != 3 || after[0].From != "0" {
+		t.Fatalf("cache not invalidated by AddEdge: %v", after)
+	}
+	// Duplicate insertion must not invalidate the cache.
+	d.AddEdge(Edge{From: "0", To: "a", Topic: "/1"})
+	if again := d.Edges(); &again[0] != &after[0] {
+		t.Fatal("duplicate AddEdge invalidated the cache")
+	}
+}
+
+// TestVertexByLabelSubstringOrder checks the direct-scan implementation
+// still returns the first match in key order.
+func TestVertexByLabelSubstringOrder(t *testing.T) {
+	d := NewDAG()
+	for _, k := range []string{"node_z|sub|/t", "node_a|sub|/t", "node_m|timer|", "other"} {
+		d.Vertices[k] = &Vertex{Key: k}
+	}
+	if v := d.VertexByLabelSubstring("|sub|"); v == nil || v.Key != "node_a|sub|/t" {
+		t.Fatalf("got %+v, want node_a|sub|/t", v)
+	}
+	if v := d.VertexByLabelSubstring("node_m"); v == nil || v.Key != "node_m|timer|" {
+		t.Fatalf("got %+v, want node_m|timer|", v)
+	}
+	if v := d.VertexByLabelSubstring("missing"); v != nil {
+		t.Fatalf("got %+v, want nil", v)
+	}
+}

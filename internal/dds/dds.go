@@ -82,6 +82,10 @@ type Domain struct {
 	// optional (defaults to CPU 0).
 	CPUOf func(pid uint32) int
 
+	// siteWrite is the pre-resolved dds_write_impl probe site, bound
+	// lazily on the first write.
+	siteWrite *ebpf.ProbeSite
+
 	writes uint64
 }
 
@@ -157,7 +161,10 @@ func (w *Writer) Write(payload interface{}, clientID, rpcSeq uint64) *Sample {
 	if d.CPUOf != nil {
 		cpu = d.CPUOf(w.pid)
 	}
-	d.rt.FireUprobe(w.pid, cpu, SymWrite, uint64(w.structAddr), 0, uint64(s.SrcTS))
+	if d.siteWrite == nil {
+		d.siteWrite = d.rt.Site(SymWrite)
+	}
+	d.siteWrite.FireEntry(w.pid, cpu, uint64(w.structAddr), 0, uint64(s.SrcTS))
 
 	for _, r := range d.readers[w.topic] {
 		r := r

@@ -1,0 +1,223 @@
+package ebpf
+
+import "fmt"
+
+// The decoder lowers a verified program into a pre-resolved dispatch form,
+// the moral equivalent of the kernel's JIT step: work that the raw
+// interpreter repeats on every instruction retire — widening immediates,
+// turning relative jump displacements into absolute targets, dividing
+// context offsets into word indexes, resolving stack accesses to the
+// frame indexes the verifier proved, hashing map fds, and type-asserting
+// perf buffers — happens once at load time instead. The VM dispatches over
+// this form on every probe fire; the raw Instruction slice is kept for
+// diagnostics and as the reference interpreter.
+
+// Internal opcodes produced only by the decoder, numbered above the raw
+// opcode space.
+const (
+	// opRunFused is the superinstruction opcode: a straight-line run of
+	// pre-resolved instructions executed back to back without per-retire
+	// outer-loop overhead.
+	opRunFused Op = 0x80 + iota
+	// Width-specialized stack ops with the verifier-proven absolute frame
+	// index in tgt: no runtime address arithmetic or width switch.
+	opLdxFP8
+	opLdxFP4
+	opLdxFP2
+	opLdxFP1
+	opStxFP8
+	opStxFP4
+	opStxFP2
+	opStxFP1
+	opStImmFP8
+	opStImmFP4
+	opStImmFP2
+	opStImmFP1
+)
+
+// decodedRegs is the decoded-dispatch register file size: a power of two,
+// so register indexes masked with regIdxMask are provably in bounds and
+// the compiler elides the bounds checks the hot loop would otherwise pay
+// on every operand.
+const (
+	decodedRegs = 16
+	regIdxMask  = decodedRegs - 1
+)
+
+// fpSpecial maps a generic stack op and access width to its specialized
+// form.
+func fpSpecial(op Op, size uint8) Op {
+	var base Op
+	switch op {
+	case OpLdxStack:
+		base = opLdxFP8
+	case OpStxStack:
+		base = opStxFP8
+	case OpStImmStack:
+		base = opStImmFP8
+	default:
+		return OpInvalid
+	}
+	switch size {
+	case 8:
+		return base
+	case 4:
+		return base + 1
+	case 2:
+		return base + 2
+	default:
+		return base + 3
+	}
+}
+
+// dop is one pre-resolved straight-line instruction, kept to 24 bytes so
+// fused runs iterate cache-line-dense. tgt is overloaded per op: absolute
+// frame index (specialized stack ops), ctx word index (OpLdxCtx), memory
+// offset (generic stack ops), or call-binding index (OpCall).
+type dop struct {
+	op   Op
+	dst  uint8
+	src  uint8
+	size uint8
+	tgt  int32
+	imm  uint64
+	pc   int32 // original instruction index, for error attribution
+	_    int32 // padding; keeps the struct at 24 bytes explicitly
+}
+
+// dcall is the decode-time binding of one helper call site.
+type dcall struct {
+	helper HelperID
+	m      Map         // bound map for map-taking helpers
+	pb     *PerfBuffer // bound perf buffer for perf_event_output
+}
+
+// dinsn is one top-level dispatch slot: a fused run, a jump, or exit.
+// Slots in the middle of a fused run are unreachable and left zeroed.
+type dinsn struct {
+	op  Op
+	dst uint8
+	src uint8
+	tgt int32 // absolute jump target, or next pc after a fused run
+	imm uint64
+	run []dop // opRunFused: the fused constituent instructions
+}
+
+// isJump reports whether op transfers control.
+func isJump(op Op) bool {
+	switch op {
+	case OpJa, OpJeqImm, OpJneImm, OpJgtImm, OpJgeImm, OpJltImm, OpJleImm,
+		OpJeqReg, OpJneReg, OpJgtReg, OpJgeReg, OpJltReg, OpJleReg:
+		return true
+	}
+	return false
+}
+
+// decode builds p.decoded against the given fd table. The program must be
+// verified: decoding leans on verifier guarantees (constant map fds at
+// call sites, constant stack-access offsets, in-range jumps).
+//
+// Decoding happens in two passes. The first lowers each instruction into a
+// compact dop — immediates widened, shift counts masked, context offsets
+// divided into word indexes, stack accesses specialized by width at their
+// verifier-proven frame index, map fds bound to Map references and perf
+// fds pre-asserted to *PerfBuffer in the call table. The second fuses
+// straight-line runs between basic-block leaders (entry, jump targets,
+// jump successors) into opRunFused superinstructions, so the dispatch loop
+// pays its control-flow overhead once per block instead of once per
+// instruction. Constituents keep their original pc for error attribution
+// and each one still counts toward the retired-instruction total.
+func decode(p *Program, lookup func(fd int64) Map) error {
+	if !p.verified {
+		return fmt.Errorf("ebpf: decoding unverified program %q", p.Name)
+	}
+	ops := make([]dop, len(p.Insns))
+	var calls []dcall
+	leader := make([]bool, len(p.Insns)+1)
+	leader[0] = true
+	for i, in := range p.Insns {
+		d := dop{
+			op:   in.Op,
+			dst:  uint8(in.Dst) & regIdxMask,
+			src:  uint8(in.Src) & regIdxMask,
+			size: in.Size,
+			pc:   int32(i),
+			imm:  uint64(in.Imm),
+		}
+		switch in.Op {
+		case OpJa, OpJeqImm, OpJneImm, OpJgtImm, OpJgeImm, OpJltImm, OpJleImm,
+			OpJeqReg, OpJneReg, OpJgtReg, OpJgeReg, OpJltReg, OpJleReg:
+			d.tgt = int32(i) + 1 + in.Off
+			if t := int(d.tgt); t >= 0 && t < len(leader) {
+				leader[t] = true
+			}
+			if i+1 < len(leader) {
+				leader[i+1] = true
+			}
+		case OpLdxCtx:
+			d.tgt = in.Off / 8
+		case OpLshImm, OpRshImm:
+			d.imm &= 63
+		case OpLdxStack, OpStxStack, OpStImmStack:
+			if lo := p.memLo[i]; lo >= 0 && lo+int32(in.Size) <= StackSize {
+				d.op = fpSpecial(in.Op, in.Size)
+				d.tgt = lo
+			} else {
+				d.tgt = in.Off // generic fallback keeps the raw offset
+			}
+		case OpCall:
+			c := dcall{helper: HelperID(in.Imm)}
+			if fd := p.callMapFD[i]; fd >= 0 {
+				m := lookup(fd)
+				if m == nil {
+					return fmt.Errorf("ebpf: %q call at %d references unknown map fd %d", p.Name, i, fd)
+				}
+				c.m = m
+				if c.helper == HelperPerfOutput {
+					pb, ok := m.(*PerfBuffer)
+					if !ok {
+						return fmt.Errorf("ebpf: %q call at %d: fd %d is not a perf buffer", p.Name, i, fd)
+					}
+					c.pb = pb
+				}
+			}
+			d.tgt = int32(len(calls))
+			calls = append(calls, c)
+		}
+		ops[i] = d
+	}
+
+	// Fuse straight-line runs. A run starts at a leader and extends over
+	// consecutive non-control instructions up to (excluding) the next
+	// jump, exit, or leader. Mid-run slots are unreachable (any jump into
+	// them would have made them leaders) and stay zeroed. Single
+	// instructions are wrapped too, so every reachable slot is a run, a
+	// jump, or exit, and the dispatch loop steers control flow only.
+	out := make([]dinsn, len(ops))
+	for start := 0; start < len(ops); start++ {
+		if !leader[start] {
+			continue
+		}
+		end := start
+		for end < len(ops) && ops[end].op != OpExit && !isJump(ops[end].op) &&
+			(end == start || !leader[end]) {
+			end++
+		}
+		if end > start {
+			out[start] = dinsn{op: opRunFused, tgt: int32(end), run: ops[start:end:end]}
+		} else {
+			o := ops[start]
+			out[start] = dinsn{op: o.op, dst: o.dst, src: o.src, tgt: o.tgt, imm: o.imm}
+		}
+		// Jump and exit slots that terminate this block are leaders of
+		// nothing; fill them directly when reached as block starts.
+	}
+	for i, o := range ops {
+		if isJump(o.op) || o.op == OpExit {
+			out[i] = dinsn{op: o.op, dst: o.dst, src: o.src, tgt: o.tgt, imm: o.imm}
+		}
+	}
+	p.decoded = out
+	p.dcalls = calls
+	return nil
+}

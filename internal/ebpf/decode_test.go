@@ -1,0 +1,315 @@
+package ebpf
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/tracesynth/rostracer/internal/umem"
+)
+
+// Decoded-dispatch equivalence: the same program run through the raw
+// reference interpreter and through the pre-resolved form must produce the
+// same ExecResult (including the retired-instruction count the overhead
+// accounting depends on) and leave identical map state behind.
+
+// equivFixture is one independently constructed program + map world.
+type equivFixture struct {
+	prog *Program
+	hash *HashMap
+	arr  *ArrayMap
+	pb   *PerfBuffer
+	maps map[int64]Map
+}
+
+func newEquivFixture(t *testing.T, build func() *Program, ctxWords int) *equivFixture {
+	t.Helper()
+	f := &equivFixture{
+		hash: NewHashMap("h", 64),
+		arr:  NewArrayMap("a", 8),
+		pb:   NewPerfBuffer("pb", 0),
+		prog: build(),
+	}
+	f.maps = map[int64]Map{3: f.hash, 4: f.pb, 5: f.arr}
+	f.hash.Update(10, 111)
+	f.hash.Update(11, 222)
+	f.arr.Update(2, 333)
+	mustVerify(t, f.prog, ctxWords, f.maps)
+	return f
+}
+
+func (f *equivFixture) mapState() (hash map[uint64]uint64, arr []uint64, recs []PerfRecord) {
+	hash = make(map[uint64]uint64)
+	for _, k := range f.hash.Keys() {
+		v, _ := f.hash.Lookup(k)
+		hash[k] = v
+	}
+	for k := uint64(0); k < 8; k++ {
+		v, _ := f.arr.Lookup(k)
+		arr = append(arr, v)
+	}
+	recs = f.pb.Drain()
+	return hash, arr, recs
+}
+
+// runEquiv runs build twice — raw and decoded — against every ctx and
+// compares results and final map state.
+func runEquiv(t *testing.T, name string, build func() *Program, ctxWords int, ctxs []*ExecContext) {
+	t.Helper()
+	raw := newEquivFixture(t, build, ctxWords)
+	dec := newEquivFixture(t, build, ctxWords)
+	if err := decode(dec.prog, func(fd int64) Map { return dec.maps[fd] }); err != nil {
+		t.Fatalf("%s: decode: %v", name, err)
+	}
+	if dec.prog.decoded == nil {
+		t.Fatalf("%s: program not decoded", name)
+	}
+
+	rawVM := NewVM(raw.maps)
+	decVM := NewVM(dec.maps)
+	for i, ctx := range ctxs {
+		ctx2 := *ctx // decoded run gets its own copy
+		rres, rerr := rawVM.RunInterpreted(raw.prog, ctx)
+		dres, derr := decVM.Run(dec.prog, &ctx2)
+		if (rerr == nil) != (derr == nil) {
+			t.Fatalf("%s ctx %d: raw err %v, decoded err %v", name, i, rerr, derr)
+		}
+		if rres != dres {
+			t.Fatalf("%s ctx %d: raw %+v, decoded %+v", name, i, rres, dres)
+		}
+	}
+	rh, ra, rr := raw.mapState()
+	dh, da, dr := dec.mapState()
+	if !reflect.DeepEqual(rh, dh) {
+		t.Fatalf("%s: hash state diverged: raw %v, decoded %v", name, rh, dh)
+	}
+	if !reflect.DeepEqual(ra, da) {
+		t.Fatalf("%s: array state diverged: raw %v, decoded %v", name, ra, da)
+	}
+	if !reflect.DeepEqual(rr, dr) {
+		t.Fatalf("%s: perf records diverged: raw %v, decoded %v", name, rr, dr)
+	}
+}
+
+// aluJumpProg exercises every ALU form, both jump polarities, shift
+// masking, signed immediates, and division by zero.
+func aluJumpProg() *Program {
+	return NewAssembler("alu_jump").
+		LdxCtx(R6, R1, 0).
+		MovImm(R0, 10).
+		AddImm(R0, -3). // signed immediate widening
+		MovImm(R2, 7).
+		MulImm(R2, 6).
+		AddReg(R0, R2).
+		SubImm(R0, 1).
+		SubReg(R0, R2).
+		DivImm(R0, 0). // div by zero -> 0
+		AddReg(R0, R6).
+		ModImm(R0, 97).
+		AndImm(R0, 0xffff).
+		OrImm(R0, 0x100).
+		XorReg(R0, R2).
+		LshImm(R0, 65). // masked to 1
+		RshImm(R0, 2).
+		JgtImm(R6, 100, "big").
+		AddImm(R0, 1000). // small path
+		Ja("join").
+		Label("big").
+		AddImm(R0, 2000).
+		Label("join").
+		JneReg(R0, R6, "done").
+		MovImm(R0, 0).
+		Label("done").
+		Exit().
+		MustAssemble()
+}
+
+// helperProg exercises every helper with decode-bound maps: update,
+// lookup, exist, delete, probe_read, probe_read_str, perf_event_output,
+// ktime, pid, cpu.
+func helperProg() *Program {
+	return NewAssembler("helpers").
+		LdxCtx(R6, R1, 0). // value to store
+		LdxCtx(R7, R1, 1). // address to probe_read
+		// h[10] = ctx[0]
+		MovImm(R1, 3).
+		MovImm(R2, 10).
+		MovReg(R3, R6).
+		Call(HelperMapUpdate).
+		// r8 = h[10]
+		MovImm(R1, 3).
+		MovImm(R2, 10).
+		Call(HelperMapLookup).
+		MovReg(R8, R0).
+		// r8 += exists(h[99])
+		MovImm(R1, 3).
+		MovImm(R2, 99).
+		Call(HelperMapLookupExist).
+		AddReg(R8, R0).
+		// delete h[11]
+		MovImm(R1, 3).
+		MovImm(R2, 11).
+		Call(HelperMapDelete).
+		// a[2] += nothing; read array a[2] into r8
+		MovImm(R1, 5).
+		MovImm(R2, 2).
+		Call(HelperMapLookup).
+		AddReg(R8, R0).
+		// probe_read 8 bytes from ctx[1] into fp-16
+		MovReg(R1, R10).
+		SubImm(R1, 16).
+		MovImm(R2, 8).
+		MovReg(R3, R7).
+		Call(HelperProbeRead).
+		AddReg(R8, R0). // fault flag folds into result
+		LdxStack(R4, R10, -16, 8).
+		AddReg(R8, R4).
+		// probe_read_str up to 15+NUL bytes from ctx[1] into fp-32
+		MovReg(R1, R10).
+		SubImm(R1, 32).
+		MovImm(R2, 16).
+		MovReg(R3, R7).
+		Call(HelperProbeReadStr).
+		AddReg(R8, R0). // returned length
+		// perf_event_output the probe_read bytes
+		StImmStack(R10, -40, 0x1122334455667788, 8).
+		MovImm(R1, 4).
+		MovReg(R2, R10).
+		SubImm(R2, 40).
+		MovImm(R3, 8).
+		Call(HelperPerfOutput).
+		// time / pid / cpu
+		Call(HelperKtimeGetNs).
+		AddReg(R8, R0).
+		Call(HelperGetCurrentPid).
+		AddReg(R8, R0).
+		Call(HelperGetSmpProcID).
+		AddReg(R8, R0).
+		MovReg(R0, R8).
+		Exit().
+		MustAssemble()
+}
+
+func equivSpace() (*umem.Space, uint64) {
+	sp := umem.NewSpace(1)
+	addr := sp.AllocBytes([]byte("decoded-vs-raw!\x00extra"))
+	return sp, uint64(addr)
+}
+
+func TestDecodedEquivalenceALU(t *testing.T) {
+	ctxs := []*ExecContext{
+		{Words: []uint64{0}},
+		{Words: []uint64{55}},
+		{Words: []uint64{101}},     // takes the "big" branch
+		{Words: []uint64{1 << 40}}, // large word
+		{},                         // missing ctx words read as zero
+	}
+	runEquiv(t, "alu_jump", aluJumpProg, 1, ctxs)
+}
+
+func TestDecodedEquivalenceHelpers(t *testing.T) {
+	sp, addr := equivSpace()
+	ctxs := []*ExecContext{
+		{PID: 42, CPU: 1, NowNs: 1111, Words: []uint64{7, addr}, Mem: sp},
+		{PID: 43, CPU: 0, NowNs: 2222, Words: []uint64{9, addr + 4}, Mem: sp},
+		{PID: 44, CPU: 3, NowNs: 3333, Words: []uint64{1, 0xdead_0000}, Mem: sp}, // faulting address
+		{PID: 45, CPU: 2, NowNs: 4444, Words: []uint64{2, addr}},                 // nil Mem
+	}
+	runEquiv(t, "helpers", helperProg, 2, ctxs)
+}
+
+// TestDecodeBindsMaps checks the decoder resolved every map call site.
+func TestDecodeBindsMaps(t *testing.T) {
+	f := newEquivFixture(t, helperProg, 2)
+	if err := decode(f.prog, func(fd int64) Map { return f.maps[fd] }); err != nil {
+		t.Fatal(err)
+	}
+	bound := 0
+	for _, c := range f.prog.dcalls {
+		if c.m != nil {
+			bound++
+		}
+	}
+	if bound != 6 { // update, lookup, exist, delete, array lookup, perf output
+		t.Fatalf("bound %d map call sites, want 6", bound)
+	}
+	for i, c := range f.prog.dcalls {
+		if c.helper == HelperPerfOutput && c.pb == nil {
+			t.Fatalf("perf output call %d not bound to a perf buffer", i)
+		}
+	}
+}
+
+// TestRuntimeLoadDecodes checks Load produces the decoded form by default
+// and honors SetPredecode(false).
+func TestRuntimeLoadDecodes(t *testing.T) {
+	build := func() (*Runtime, *Program) {
+		rt := NewRuntime(nil, nil)
+		pb := NewPerfBuffer("pb", 0)
+		fd := rt.RegisterMap(pb)
+		p := NewAssembler("emit").
+			StImmStack(R10, -8, 1, 8).
+			MovImm(R1, fd).
+			MovReg(R2, R10).
+			SubImm(R2, 8).
+			MovImm(R3, 8).
+			Call(HelperPerfOutput).
+			MovImm(R0, 0).
+			Exit().
+			MustAssemble()
+		return rt, p
+	}
+
+	rt, p := build()
+	if err := rt.Load(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if p.decoded == nil {
+		t.Fatal("Load did not decode the program")
+	}
+
+	rt2, p2 := build()
+	rt2.SetPredecode(false)
+	if err := rt2.Load(p2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if p2.decoded != nil {
+		t.Fatal("SetPredecode(false) still decoded the program")
+	}
+}
+
+// TestFireNoAlloc checks the hot fire path performs no per-fire heap
+// allocations beyond what the program itself emits.
+func TestFireNoAlloc(t *testing.T) {
+	rt := NewRuntime(func() int64 { return 5 }, nil)
+	hm := NewHashMap("h", 16)
+	fd := rt.RegisterMap(hm)
+	p := NewAssembler("count").
+		LdxCtx(R6, R1, 0).
+		MovImm(R1, fd).
+		MovReg(R2, R6).
+		MovImm(R3, 1).
+		Call(HelperMapUpdate).
+		MovImm(R0, 0).
+		Exit().
+		MustAssemble()
+	if err := rt.Load(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	sym := Symbol{Lib: "lib", Func: "fn"}
+	if _, err := rt.AttachUprobe(sym, p); err != nil {
+		t.Fatal(err)
+	}
+	rt.FireUprobe(1, 0, sym, 1) // warm up scratch buffers and the map
+	allocs := testing.AllocsPerRun(100, func() {
+		rt.FireUprobe(1, 0, sym, 1)
+	})
+	if allocs > 0 {
+		t.Fatalf("FireUprobe allocates %.1f times per fire, want 0", allocs)
+	}
+	ret := testing.AllocsPerRun(100, func() {
+		rt.FireUretprobe(1, 0, sym, 7, 1, 2)
+	})
+	if ret > 0 {
+		t.Fatalf("FireUretprobe allocates %.1f times per fire, want 0", ret)
+	}
+}

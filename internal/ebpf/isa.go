@@ -154,6 +154,24 @@ type Program struct {
 	Name     string
 	Insns    []Instruction
 	verified bool
+
+	// callMapFD records, per instruction index, the constant map fd the
+	// verifier proved for a map-taking helper call site (-1 elsewhere).
+	// The decoder uses it to bind call sites to Map references directly.
+	callMapFD []int64
+	// memLo records, per instruction index, the verifier-proven absolute
+	// stack index of a stack load/store (-1 elsewhere). The decoder uses
+	// it to lower stack ops into width-specialized forms with no runtime
+	// address arithmetic, the way the kernel verifier rewrites memory
+	// instructions.
+	memLo []int32
+	// decoded is the pre-resolved dispatch form built by Runtime.Load:
+	// operands widened, jump targets absolute, map fds bound. Nil until a
+	// runtime decodes the program; the VM falls back to the raw
+	// interpreter in that case. dcalls holds the per-call-site helper and
+	// map bindings the decoded form indexes into.
+	decoded []dinsn
+	dcalls  []dcall
 }
 
 // Verified reports whether the program has passed the verifier.

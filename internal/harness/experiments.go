@@ -48,15 +48,17 @@ func TableIExperiment(cfg Config) (Result, error) {
 // per-run DAGs.
 func Fig3aExperiment(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
-	var dags []*core.DAG
-	for run := 0; run < cfg.Runs; run++ {
+	dags, err := runSeries(cfg.Workers, cfg.Runs, func(run int) (*core.DAG, error) {
 		s, err := RunSession(cfg.Seed+uint64(run), cfg.CPUs, cfg.Duration, true, func(w *rclcpp.World) {
 			apps.BuildSYN(w, apps.SYNConfig{})
 		})
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
-		dags = append(dags, core.Synthesize(s.Trace))
+		return core.Synthesize(s.Trace), nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	d := core.MergeDAGs(dags...)
 	ok := len(d.Vertices) == apps.SYNExpectedVertices && len(d.Edges()) == apps.SYNExpectedEdges
@@ -81,15 +83,17 @@ func Fig3aExperiment(cfg Config) (Result, error) {
 // Fig3bExperiment (E3) regenerates the AVP localization DAG of Fig. 3b.
 func Fig3bExperiment(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
-	var dags []*core.DAG
-	for run := 0; run < cfg.Runs; run++ {
+	dags, err := runSeries(cfg.Workers, cfg.Runs, func(run int) (*core.DAG, error) {
 		s, err := RunSession(cfg.Seed+uint64(run), cfg.CPUs, cfg.Duration, true, func(w *rclcpp.World) {
 			apps.BuildAVP(w, apps.AVPConfig{})
 		})
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
-		dags = append(dags, core.Synthesize(s.Trace))
+		return core.Synthesize(s.Trace), nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	d := core.MergeDAGs(dags...)
 	// Fig. 3b: 6 callbacks in 5 nodes plus the AND junction; a single
@@ -146,19 +150,30 @@ var tableIINodeOf = map[string]string{
 // runAVPSeries runs AVP+SYN concurrently cfg.Runs times and returns the
 // per-run DAGs (the experiment pipeline shared by Table II and Fig. 4).
 func runAVPSeries(cfg Config) ([]*core.DAG, []*Session, error) {
-	var dags []*core.DAG
-	var sessions []*Session
-	for run := 0; run < cfg.Runs; run++ {
+	type avpRun struct {
+		dag  *core.DAG
+		sess *Session
+	}
+	runs, err := runSeries(cfg.Workers, cfg.Runs, func(run int) (avpRun, error) {
 		s, err := RunSession(cfg.Seed+uint64(run), cfg.CPUs, cfg.Duration, true,
 			BuildBoth(loadScaleForRun(run)))
 		if err != nil {
-			return nil, nil, err
+			return avpRun{}, err
 		}
-		dags = append(dags, core.Synthesize(s.Trace))
+		d := core.Synthesize(s.Trace)
 		s.World = nil // release the heavy simulation state
 		s.Bundle = nil
 		s.Trace = nil
-		sessions = append(sessions, s)
+		return avpRun{dag: d, sess: s}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	dags := make([]*core.DAG, len(runs))
+	sessions := make([]*Session, len(runs))
+	for i, r := range runs {
+		dags[i] = r.dag
+		sessions[i] = r.sess
 	}
 	return dags, sessions, nil
 }
@@ -315,14 +330,15 @@ func OverheadsExperiment(cfg Config) (Result, error) {
 		// kernel tracer must drop.
 		SpawnChatter(w, 24, 2*sim.Millisecond)
 	}
-	filtered, err := RunSession(cfg.Seed, cfg.CPUs, duration, true, buildBusyHost)
+	// The filtered and unfiltered sessions are independent worlds with the
+	// same seed; run them as a two-run series so they fan out too.
+	sessions, err := runSeries(cfg.Workers, 2, func(run int) (*Session, error) {
+		return RunSession(cfg.Seed, cfg.CPUs, duration, run == 0, buildBusyHost)
+	})
 	if err != nil {
 		return Result{}, err
 	}
-	unfiltered, err := RunSession(cfg.Seed, cfg.CPUs, duration, false, buildBusyHost)
-	if err != nil {
-		return Result{}, err
-	}
+	filtered, unfiltered := sessions[0], sessions[1]
 
 	probeCores := filtered.ProbeCostNs / float64(duration)
 	appCores := filtered.AppCPUNs / float64(duration)
@@ -451,15 +467,17 @@ func Fig2Experiment(cfg Config) (Result, error) {
 	// (b) Merge strategies: per-run DAGs merged vs per-run synthesis (the
 	// strategies coincide per run; across runs the DAG-merge path is the
 	// paper's choice). Statistics must be identical either way.
-	var perRun []*core.DAG
-	for run := 0; run < min(cfg.Runs, 5); run++ {
+	perRun, err := runSeries(cfg.Workers, min(cfg.Runs, 5), func(run int) (*core.DAG, error) {
 		s, err := RunSession(cfg.Seed+uint64(run), cfg.CPUs, cfg.Duration/2, true, func(w *rclcpp.World) {
 			apps.BuildAVP(w, apps.AVPConfig{})
 		})
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
-		perRun = append(perRun, core.Synthesize(s.Trace))
+		return core.Synthesize(s.Trace), nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	merged := core.MergeDAGs(perRun...)
 	sumInstances := 0
@@ -541,14 +559,16 @@ func AblationSyncExperiment(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	// Merge several runs so both sync callbacks have completed sets at
 	// least once (arrival order varies with the load).
-	var models []*core.Model
-	for run := 0; run < min(cfg.Runs, 10); run++ {
+	models, err := runSeries(cfg.Workers, min(cfg.Runs, 10), func(run int) (*core.Model, error) {
 		s, err := RunSession(cfg.Seed+uint64(run), cfg.CPUs, cfg.Duration, true,
 			BuildBoth(loadScaleForRun(run)))
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
-		models = append(models, core.ExtractModel(s.Trace))
+		return core.ExtractModel(s.Trace), nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 
 	var properDAGs, naiveDAGs []*core.DAG
@@ -623,7 +643,13 @@ func ValidationExperiment(cfg Config) (Result, error) {
 	var maxErr sim.Duration
 	var maxInflation float64
 
-	for run := 0; run < min(cfg.Runs, 10); run++ {
+	type runCheck struct {
+		instances    int
+		maxErr       sim.Duration
+		maxInflation float64
+		exact        bool
+	}
+	checks, err := runSeries(cfg.Workers, min(cfg.Runs, 10), func(run int) (runCheck, error) {
 		scale := loadScaleForRun(run)
 		s, err := RunSession(cfg.Seed+uint64(run), 1 /* one CPU forces preemption */, cfg.Duration, true,
 			func(w *rclcpp.World) {
@@ -631,13 +657,14 @@ func ValidationExperiment(cfg Config) (Result, error) {
 				apps.BackgroundLoad(w, 2, 8, 0, 10*sim.Millisecond, 2*sim.Millisecond)
 			})
 		if err != nil {
-			return Result{}, err
+			return runCheck{}, err
 		}
 		m := core.ExtractModel(s.Trace)
 		designed := map[string]sim.Duration{}
 		for name, d := range apps.SYNDesignedET {
 			designed[name] = sim.Duration(float64(d) * scale)
 		}
+		c := runCheck{exact: true}
 		for _, cb := range m.Callbacks {
 			if strings.HasPrefix(cb.Node, "bg_load") {
 				continue
@@ -647,25 +674,39 @@ func ValidationExperiment(cfg Config) (Result, error) {
 				continue
 			}
 			for _, inst := range cb.Instances {
-				totalInstances++
+				c.instances++
 				diff := inst.ET - want
 				if diff < 0 {
 					diff = -diff
 				}
-				if diff > maxErr {
-					maxErr = diff
+				if diff > c.maxErr {
+					c.maxErr = diff
 				}
 				if diff != 0 {
-					ok = false
+					c.exact = false
 				}
 				if want > 0 {
 					infl := float64(inst.End.Sub(inst.Start)) / float64(want)
-					if infl > maxInflation {
-						maxInflation = infl
+					if infl > c.maxInflation {
+						c.maxInflation = infl
 					}
 				}
 			}
 		}
+		return c, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	for _, c := range checks {
+		totalInstances += c.instances
+		if c.maxErr > maxErr {
+			maxErr = c.maxErr
+		}
+		if c.maxInflation > maxInflation {
+			maxInflation = c.maxInflation
+		}
+		ok = ok && c.exact
 	}
 	fmt.Fprintf(&b, "instances checked: %d\n", totalInstances)
 	fmt.Fprintf(&b, "max |measured - designed| = %v (paper: exact agreement validates the framework)\n", maxErr)

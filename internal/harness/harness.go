@@ -48,6 +48,11 @@ type Config struct {
 	Duration sim.Duration // traced span per run
 	CPUs     int
 	Seed     uint64
+	// Workers bounds how many of an experiment's independent seeded runs
+	// execute concurrently: 0 means GOMAXPROCS, 1 forces sequential
+	// execution. Results are merged in run order, so Result.Text is
+	// byte-identical for every worker count.
+	Workers int
 }
 
 // Defaults returns the paper-scale configuration.

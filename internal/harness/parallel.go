@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// runSeries executes fn(run) for every run in [0, runs) across a bounded
+// worker pool and returns the results indexed by run.
+//
+// Determinism: every run owns its entire simulation state (RunSession
+// builds a fresh World seeded from cfg.Seed+run), and results are placed
+// by run index, so the returned slice — and anything folded over it in
+// order — is byte-identical to sequential execution regardless of worker
+// count or scheduling. A failure stops further runs from being claimed
+// (in-flight runs finish), and the lowest-indexed error among the runs
+// that executed is returned, matching what sequential execution would
+// have reported first.
+//
+// workers <= 0 uses GOMAXPROCS; workers == 1 runs inline with no
+// goroutines.
+func runSeries[T any](workers, runs int, fn func(run int) (T, error)) ([]T, error) {
+	if runs <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runs {
+		workers = runs
+	}
+	out := make([]T, runs)
+	if workers == 1 {
+		for run := 0; run < runs; run++ {
+			v, err := fn(run)
+			if err != nil {
+				return nil, err
+			}
+			out[run] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next    atomic.Int64 // next run to claim
+		failed  atomic.Bool  // stop claiming new runs after any error
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		errRun  = runs // lowest failing run index
+		firstEx error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				run := int(next.Add(1)) - 1
+				if run >= runs {
+					return
+				}
+				v, err := fn(run)
+				if err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if run < errRun {
+						errRun, firstEx = run, err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[run] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEx != nil {
+		return nil, firstEx
+	}
+	return out, nil
+}

@@ -102,6 +102,10 @@ type Synchronizer struct {
 	fusedET sim.Distribution
 	fused   func(*FusedContext)
 
+	// siteOp is the pre-resolved operator() probe site, bound lazily on
+	// the first arrival.
+	siteOp *ebpf.ProbeSite
+
 	subs    []*rclcpp.Subscription
 	matches uint64
 }
@@ -158,7 +162,10 @@ func (s *Synchronizer) Matches() uint64 { return s.matches }
 func (s *Synchronizer) operator(input int, ctx *rclcpp.CallbackContext) (sim.Duration, rclcpp.Action) {
 	n := s.node
 	w := n.World()
-	w.Runtime().FireUprobe(n.PID(), n.Thread().CPU(), SymOperator, uint64(input)) // P7
+	if s.siteOp == nil {
+		s.siteOp = w.Runtime().Site(SymOperator)
+	}
+	s.siteOp.FireEntry(n.PID(), n.Thread().CPU(), uint64(input)) // P7
 
 	s.queues[input] = append(s.queues[input], ctx.Sample)
 

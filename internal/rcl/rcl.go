@@ -34,5 +34,5 @@ func NewTimer(space *umem.Space) Timer {
 // TimerCall simulates rcl_timer_call, firing P3 with the timer descriptor
 // as argument 0.
 func TimerCall(rt *ebpf.Runtime, pid uint32, cpu int, tm Timer) {
-	rt.FireUprobe(pid, cpu, SymTimerCall, uint64(tm.Addr))
+	rt.Site(SymTimerCall).FireEntry(pid, cpu, uint64(tm.Addr))
 }

@@ -3,7 +3,6 @@ package rclcpp
 import (
 	"github.com/tracesynth/rostracer/internal/dds"
 	"github.com/tracesynth/rostracer/internal/rcl"
-	"github.com/tracesynth/rostracer/internal/rmw"
 	"github.com/tracesynth/rostracer/internal/sched"
 	"github.com/tracesynth/rostracer/internal/sim"
 )
@@ -114,11 +113,11 @@ func (x *executor) beginTimer(t *Timer) sched.Demand {
 	n := x.node
 	w := n.world
 	cpu := n.cpu()
-	w.rt.FireUprobe(n.pid, cpu, SymExecuteTimer) // P2
-	rcl.TimerCall(w.rt, n.pid, cpu, t.rclTm)     // P3
+	w.siteExecTimer.FireEntry(n.pid, cpu)    // P2
+	rcl.TimerCall(w.rt, n.pid, cpu, t.rclTm) // P3
 	ctx := &CallbackContext{Node: n, Time: w.eng.Now()}
 	return x.start(ctx, t.body, t.rclTm.CBID, func() {
-		w.rt.FireUretprobe(n.pid, n.cpu(), SymExecuteTimer, 0) // P4
+		w.siteExecTimer.FireReturn(n.pid, n.cpu(), 0) // P4
 	})
 }
 
@@ -126,11 +125,11 @@ func (x *executor) beginSub(s *Subscription, sample *dds.Sample) sched.Demand {
 	n := x.node
 	w := n.world
 	cpu := n.cpu()
-	w.rt.FireUprobe(n.pid, cpu, SymExecuteSubscription)      // P5
-	rmw.TakeInt(w.rt, n.pid, cpu, n.space, s.entity, sample) // P6 entry+exit
+	w.siteExecSub.FireEntry(n.pid, cpu)                   // P5
+	w.takeInt.Take(n.pid, cpu, n.space, s.entity, sample) // P6 entry+exit
 	ctx := &CallbackContext{Node: n, Sample: sample, Time: w.eng.Now()}
 	return x.start(ctx, s.body, s.entity.CBID, func() {
-		w.rt.FireUretprobe(n.pid, n.cpu(), SymExecuteSubscription, 0) // P8
+		w.siteExecSub.FireReturn(n.pid, n.cpu(), 0) // P8
 	})
 }
 
@@ -138,8 +137,8 @@ func (x *executor) beginService(s *Service, req *dds.Sample) sched.Demand {
 	n := x.node
 	w := n.world
 	cpu := n.cpu()
-	w.rt.FireUprobe(n.pid, cpu, SymExecuteService)            // P9
-	rmw.TakeRequest(w.rt, n.pid, cpu, n.space, s.entity, req) // P10
+	w.siteExecService.FireEntry(n.pid, cpu)                // P9
+	w.takeRequest.Take(n.pid, cpu, n.space, s.entity, req) // P10
 	ctx := &CallbackContext{Node: n, Sample: req, Time: w.eng.Now()}
 	body := BodyFunc(func(c *CallbackContext) (sim.Duration, Action) {
 		var et sim.Duration
@@ -157,7 +156,7 @@ func (x *executor) beginService(s *Service, req *dds.Sample) sched.Demand {
 		}
 	})
 	return x.start(ctx, body, s.entity.CBID, func() {
-		w.rt.FireUretprobe(n.pid, n.cpu(), SymExecuteService, 0) // P11
+		w.siteExecService.FireReturn(n.pid, n.cpu(), 0) // P11
 	})
 }
 
@@ -169,20 +168,20 @@ func (x *executor) beginClient(c *Client, resp *dds.Sample) (sched.Demand, bool)
 	n := x.node
 	w := n.world
 	cpu := n.cpu()
-	w.rt.FireUprobe(n.pid, cpu, SymExecuteClient)               // P12
-	rmw.TakeResponse(w.rt, n.pid, cpu, n.space, c.entity, resp) // P13
+	w.siteExecClient.FireEntry(n.pid, cpu)                   // P12
+	w.takeResponse.Take(n.pid, cpu, n.space, c.entity, resp) // P13
 	dispatch := uint64(0)
 	if resp.ClientID == c.entity.CBID {
 		dispatch = 1
 	}
 	// take_type_erased_response's return value is read by uretprobe P14.
-	w.rt.FireUretprobe(n.pid, cpu, SymTakeTypeErased, dispatch)
+	w.siteTakeTypeErased.FireReturn(n.pid, cpu, dispatch)
 	if dispatch == 0 {
-		w.rt.FireUretprobe(n.pid, cpu, SymExecuteClient, 0) // P15: nothing ran
+		w.siteExecClient.FireReturn(n.pid, cpu, 0) // P15: nothing ran
 		return sched.Demand{}, false
 	}
 	ctx := &CallbackContext{Node: n, Sample: resp, Time: w.eng.Now()}
 	return x.start(ctx, c.body, c.entity.CBID, func() {
-		w.rt.FireUretprobe(n.pid, n.cpu(), SymExecuteClient, 0) // P15
+		w.siteExecClient.FireReturn(n.pid, n.cpu(), 0) // P15
 	}), true
 }

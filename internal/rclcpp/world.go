@@ -18,6 +18,7 @@ import (
 
 	"github.com/tracesynth/rostracer/internal/dds"
 	"github.com/tracesynth/rostracer/internal/ebpf"
+	"github.com/tracesynth/rostracer/internal/rmw"
 	"github.com/tracesynth/rostracer/internal/sched"
 	"github.com/tracesynth/rostracer/internal/sim"
 	"github.com/tracesynth/rostracer/internal/umem"
@@ -63,6 +64,16 @@ type World struct {
 	nodes      []*Node
 	nextExtPID uint32
 
+	// Pre-resolved probe sites for the executor's Table I functions.
+	siteExecTimer      *ebpf.ProbeSite
+	siteExecSub        *ebpf.ProbeSite
+	siteExecService    *ebpf.ProbeSite
+	siteExecClient     *ebpf.ProbeSite
+	siteTakeTypeErased *ebpf.ProbeSite
+	takeInt            rmw.TakeSite
+	takeRequest        rmw.TakeSite
+	takeResponse       rmw.TakeSite
+
 	truth []TruthRecord
 }
 
@@ -83,6 +94,16 @@ func NewWorld(cfg Config) *World {
 		func() int64 { return int64(eng.Now()) },
 		func(pid uint32) *umem.Space { return w.spaces[pid] },
 	)
+	// Pre-resolve the executor's probe sites once; callbacks fire through
+	// them on every dispatch.
+	w.siteExecTimer = w.rt.Site(SymExecuteTimer)
+	w.siteExecSub = w.rt.Site(SymExecuteSubscription)
+	w.siteExecService = w.rt.Site(SymExecuteService)
+	w.siteExecClient = w.rt.Site(SymExecuteClient)
+	w.siteTakeTypeErased = w.rt.Site(SymTakeTypeErased)
+	w.takeInt = rmw.ResolveTake(w.rt, rmw.SymTakeInt)
+	w.takeRequest = rmw.ResolveTake(w.rt, rmw.SymTakeRequest)
+	w.takeResponse = rmw.ResolveTake(w.rt, rmw.SymTakeResponse)
 	w.domain = dds.NewDomain(eng, w.rt, root.Stream(1))
 	if cfg.DDSLatency != nil {
 		w.domain.Latency = cfg.DDSLatency

@@ -61,27 +61,31 @@ func CreateNode(rt *ebpf.Runtime, pid uint32, cpu int, space *umem.Space, name s
 	rt.FireUprobe(pid, cpu, SymCreateNode, uint64(nameAddr))
 }
 
-// take simulates the shared body of the rmw_take_* family: fire the entry
+// TakeSite is a pre-resolved rmw_take_* probe pair. Callers resolve it
+// once (per runtime) and fire through it on every take, avoiding the
+// per-event symbol interning the ProbeSite mechanism exists to remove.
+type TakeSite struct {
+	site *ebpf.ProbeSite
+}
+
+// ResolveTake interns the take site for sym (one of SymTakeInt,
+// SymTakeRequest, SymTakeResponse) on rt.
+func ResolveTake(rt *ebpf.Runtime, sym ebpf.Symbol) TakeSite {
+	return TakeSite{site: rt.Site(sym)}
+}
+
+// Take simulates the shared body of the rmw_take_* family: fire the entry
 // probe with (entity, message, &srcTS), let "DDS" fill in the source
 // timestamp, then fire the exit probe with the success return value.
-func take(rt *ebpf.Runtime, sym ebpf.Symbol, pid uint32, cpu int, space *umem.Space, ent Entity, s *dds.Sample) {
+func (t TakeSite) Take(pid uint32, cpu int, space *umem.Space, ent Entity, s *dds.Sample) {
 	srcAddr := space.AllocU64(0) // out-parameter, unset at entry
-	rt.FireUprobe(pid, cpu, sym, uint64(ent.Addr), 0 /* message buffer */, uint64(srcAddr))
+	t.site.FireEntry(pid, cpu, uint64(ent.Addr), 0 /* message buffer */, uint64(srcAddr))
 	space.WriteU64(srcAddr, uint64(s.SrcTS)) // lower layers produce the value
-	rt.FireUretprobe(pid, cpu, sym, 1 /* RMW_RET_OK with data */)
+	t.site.FireReturn(pid, cpu, 1 /* RMW_RET_OK with data */)
 }
 
-// TakeInt simulates rmw_take_int for a subscription (P6).
+// TakeInt simulates rmw_take_int for a subscription (P6) through a
+// freshly resolved site; hot callers hold a TakeSite instead.
 func TakeInt(rt *ebpf.Runtime, pid uint32, cpu int, space *umem.Space, ent Entity, s *dds.Sample) {
-	take(rt, SymTakeInt, pid, cpu, space, ent, s)
-}
-
-// TakeRequest simulates rmw_take_request for a service (P10).
-func TakeRequest(rt *ebpf.Runtime, pid uint32, cpu int, space *umem.Space, ent Entity, s *dds.Sample) {
-	take(rt, SymTakeRequest, pid, cpu, space, ent, s)
-}
-
-// TakeResponse simulates rmw_take_response for a client (P13).
-func TakeResponse(rt *ebpf.Runtime, pid uint32, cpu int, space *umem.Space, ent Entity, s *dds.Sample) {
-	take(rt, SymTakeResponse, pid, cpu, space, ent, s)
+	ResolveTake(rt, SymTakeInt).Take(pid, cpu, space, ent, s)
 }

@@ -12,7 +12,9 @@
 package trace
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"github.com/tracesynth/rostracer/internal/sim"
@@ -153,59 +155,87 @@ func (t *Trace) Len() int { return len(t.Events) }
 // Append adds events to the trace.
 func (t *Trace) Append(evs ...Event) { t.Events = append(t.Events, evs...) }
 
+// eventLess is the (Time, Seq) chronological order Algorithm 1 requires.
+func eventLess(a, b *Event) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.Seq < b.Seq
+}
+
 // SortByTime orders events by (Time, Seq), the chronological order
 // Algorithm 1 requires.
 func (t *Trace) SortByTime() {
-	sort.SliceStable(t.Events, func(i, j int) bool {
-		a, b := t.Events[i], t.Events[j]
+	slices.SortStableFunc(t.Events, func(a, b Event) int {
 		if a.Time != b.Time {
-			return a.Time < b.Time
+			return cmp.Compare(a.Time, b.Time)
 		}
-		return a.Seq < b.Seq
+		return cmp.Compare(a.Seq, b.Seq)
 	})
+}
+
+// sortedByTime reports whether the trace is already in (Time, Seq) order.
+func (t *Trace) sortedByTime() bool {
+	for i := 1; i < len(t.Events); i++ {
+		if eventLess(&t.Events[i], &t.Events[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// filter returns the sub-trace of events matching keep, sized exactly with
+// a count pass so the result is a single allocation.
+func (t *Trace) filter(keep func(*Event) bool) *Trace {
+	n := 0
+	for i := range t.Events {
+		if keep(&t.Events[i]) {
+			n++
+		}
+	}
+	out := &Trace{}
+	if n == 0 {
+		return out
+	}
+	out.Events = make([]Event, 0, n)
+	for i := range t.Events {
+		if keep(&t.Events[i]) {
+			out.Events = append(out.Events, t.Events[i])
+		}
+	}
+	return out
 }
 
 // FilterPID returns the sub-trace whose events belong to pid (for
 // sched_switch events: mention pid as prev or next).
 func (t *Trace) FilterPID(pid uint32) *Trace {
-	out := &Trace{}
-	for _, e := range t.Events {
+	return t.filter(func(e *Event) bool {
 		if e.Kind == KindSchedSwitch || e.Kind == KindSchedWakeup {
-			if e.PrevPID == pid || e.NextPID == pid {
-				out.Events = append(out.Events, e)
-			}
-		} else if e.PID == pid {
-			out.Events = append(out.Events, e)
+			return e.PrevPID == pid || e.NextPID == pid
 		}
-	}
-	return out
+		return e.PID == pid
+	})
 }
 
 // FilterKind returns the sub-trace with only the given kinds.
 func (t *Trace) FilterKind(kinds ...Kind) *Trace {
-	want := make(map[Kind]bool, len(kinds))
+	var want [numKinds]bool
 	for _, k := range kinds {
-		want[k] = true
-	}
-	out := &Trace{}
-	for _, e := range t.Events {
-		if want[e.Kind] {
-			out.Events = append(out.Events, e)
+		if k < numKinds {
+			want[k] = true
 		}
 	}
-	return out
+	return t.filter(func(e *Event) bool {
+		return e.Kind < numKinds && want[e.Kind]
+	})
 }
 
 // ROSEvents returns the sub-trace of ROS2 middleware events (everything
 // except scheduler events).
 func (t *Trace) ROSEvents() *Trace {
-	out := &Trace{}
-	for _, e := range t.Events {
-		if e.Kind != KindSchedSwitch && e.Kind != KindSchedWakeup {
-			out.Events = append(out.Events, e)
-		}
-	}
-	return out
+	return t.filter(func(e *Event) bool {
+		return e.Kind != KindSchedSwitch && e.Kind != KindSchedWakeup
+	})
 }
 
 // SchedEvents returns the sub-trace of scheduler events (switches and
@@ -240,15 +270,50 @@ func (t *Trace) Nodes() map[string]uint32 {
 }
 
 // Merge combines traces into one chronologically sorted trace, the
-// "merge traces" path of Fig. 2.
+// "merge traces" path of Fig. 2. Inputs that are already (Time, Seq)
+// sorted — the common case, since every tracer drains in order — are
+// k-way merged in a single output allocation; otherwise it falls back to
+// concatenate-and-stable-sort. Ties on (Time, Seq) resolve to the
+// earlier input trace, exactly as the stable sort over the concatenation
+// would.
 func Merge(traces ...*Trace) *Trace {
-	out := &Trace{}
+	ins := make([]*Trace, 0, len(traces))
+	total := 0
+	allSorted := true
 	for _, t := range traces {
-		if t != nil {
+		if t == nil || len(t.Events) == 0 {
+			continue
+		}
+		ins = append(ins, t)
+		total += len(t.Events)
+		allSorted = allSorted && t.sortedByTime()
+	}
+	out := &Trace{}
+	if total == 0 {
+		return out
+	}
+	out.Events = make([]Event, 0, total)
+	if !allSorted {
+		for _, t := range ins {
 			out.Events = append(out.Events, t.Events...)
 		}
+		out.SortByTime()
+		return out
 	}
-	out.SortByTime()
+	idx := make([]int, len(ins))
+	for len(out.Events) < total {
+		best := -1
+		for t := range ins {
+			if idx[t] >= len(ins[t].Events) {
+				continue
+			}
+			if best < 0 || eventLess(&ins[t].Events[idx[t]], &ins[best].Events[idx[best]]) {
+				best = t
+			}
+		}
+		out.Events = append(out.Events, ins[best].Events[idx[best]])
+		idx[best]++
+	}
 	return out
 }
 

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/tracesynth/rostracer/internal/sim"
+)
+
+// synthTrace builds a deterministic pseudo-random trace. sorted controls
+// whether it comes out in (Time, Seq) order.
+func synthTrace(seed uint64, n int, sorted bool) *Trace {
+	state := seed | 1
+	next := func(m int) int {
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		return int((state * 0x2545f4914f6cdd1d) >> 33 % uint64(m))
+	}
+	tr := &Trace{}
+	now := sim.Time(0)
+	for i := 0; i < n; i++ {
+		now += sim.Time(next(3)) // duplicate times are common and must tie-break on Seq
+		e := Event{
+			Time: now,
+			Seq:  seed*1e6 + uint64(i),
+			PID:  uint32(next(4) + 1),
+			Kind: Kind(next(int(numKinds)-1) + 1),
+		}
+		tr.Events = append(tr.Events, e)
+	}
+	if !sorted {
+		// Deterministic shuffle.
+		for i := len(tr.Events) - 1; i > 0; i-- {
+			j := next(i + 1)
+			tr.Events[i], tr.Events[j] = tr.Events[j], tr.Events[i]
+		}
+	}
+	return tr
+}
+
+// referenceMerge is the original concatenate-then-stable-sort semantics.
+func referenceMerge(traces ...*Trace) *Trace {
+	out := &Trace{}
+	for _, t := range traces {
+		if t != nil {
+			out.Events = append(out.Events, t.Events...)
+		}
+	}
+	out.SortByTime()
+	return out
+}
+
+func TestMergeMatchesReference(t *testing.T) {
+	cases := []struct {
+		name   string
+		traces []*Trace
+	}{
+		{"nil and empty", []*Trace{nil, {}, nil}},
+		{"single sorted", []*Trace{synthTrace(1, 50, true)}},
+		{"two sorted", []*Trace{synthTrace(1, 50, true), synthTrace(2, 70, true)}},
+		{"four sorted segments", []*Trace{
+			synthTrace(3, 40, true), synthTrace(4, 1, true),
+			synthTrace(5, 0, true), synthTrace(6, 90, true),
+		}},
+		{"unsorted fallback", []*Trace{synthTrace(7, 60, false), synthTrace(8, 30, true)}},
+		{"all unsorted", []*Trace{synthTrace(9, 25, false), synthTrace(10, 25, false)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Merge(tc.traces...)
+			want := referenceMerge(tc.traces...)
+			if got.Len() != want.Len() {
+				t.Fatalf("len %d, want %d", got.Len(), want.Len())
+			}
+			for i := range want.Events {
+				if got.Events[i] != want.Events[i] {
+					t.Fatalf("event %d: got %v, want %v", i, got.Events[i], want.Events[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMergeTieBreaksByInputOrder pins the stable-merge guarantee: events
+// with identical (Time, Seq) keep the order of their input traces.
+func TestMergeTieBreaksByInputOrder(t *testing.T) {
+	a := &Trace{Events: []Event{{Time: 5, Seq: 1, PID: 100}}}
+	b := &Trace{Events: []Event{{Time: 5, Seq: 1, PID: 200}}}
+	m := Merge(a, b)
+	if m.Len() != 2 || m.Events[0].PID != 100 || m.Events[1].PID != 200 {
+		t.Fatalf("tie order broken: %v", m.Events)
+	}
+}
+
+// TestMergeDoesNotAliasInputs checks the merged trace owns its storage.
+func TestMergeDoesNotAliasInputs(t *testing.T) {
+	a := synthTrace(11, 10, true)
+	m := Merge(a)
+	m.Events[0].PID = 999
+	if a.Events[0].PID == 999 {
+		t.Fatal("Merge aliases its input's event storage")
+	}
+}
+
+func TestFiltersMatchReference(t *testing.T) {
+	tr := synthTrace(12, 300, false)
+	// Salt in scheduler events, which FilterPID treats specially.
+	for i := 0; i < 40; i++ {
+		tr.Events[i*7].Kind = KindSchedSwitch
+		tr.Events[i*7].PrevPID = uint32(i % 3)
+		tr.Events[i*7].NextPID = uint32((i + 1) % 3)
+	}
+
+	refFilter := func(keep func(Event) bool) []Event {
+		var out []Event
+		for _, e := range tr.Events {
+			if keep(e) {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+
+	gotPID := tr.FilterPID(2).Events
+	wantPID := refFilter(func(e Event) bool {
+		if e.Kind == KindSchedSwitch || e.Kind == KindSchedWakeup {
+			return e.PrevPID == 2 || e.NextPID == 2
+		}
+		return e.PID == 2
+	})
+	if !reflect.DeepEqual(gotPID, wantPID) {
+		t.Fatalf("FilterPID: %d events, want %d", len(gotPID), len(wantPID))
+	}
+
+	gotKind := tr.FilterKind(KindDDSWrite, KindSchedSwitch).Events
+	wantKind := refFilter(func(e Event) bool {
+		return e.Kind == KindDDSWrite || e.Kind == KindSchedSwitch
+	})
+	if !reflect.DeepEqual(gotKind, wantKind) {
+		t.Fatalf("FilterKind: %d events, want %d", len(gotKind), len(wantKind))
+	}
+
+	gotROS := tr.ROSEvents().Events
+	wantROS := refFilter(func(e Event) bool {
+		return e.Kind != KindSchedSwitch && e.Kind != KindSchedWakeup
+	})
+	if !reflect.DeepEqual(gotROS, wantROS) {
+		t.Fatalf("ROSEvents: %d events, want %d", len(gotROS), len(wantROS))
+	}
+
+	// Filters must return exactly-sized single allocations.
+	if c := cap(tr.FilterPID(2).Events); c != len(wantPID) {
+		t.Fatalf("FilterPID over-allocated: cap %d, want %d", c, len(wantPID))
+	}
+}

@@ -217,33 +217,39 @@ func (b *Bundle) Lost() uint64 {
 }
 
 // Drain decodes and merges all pending records from the three tracers into
-// one chronologically sorted trace.
+// one chronologically sorted trace. Each perf buffer drains in emission
+// order — monotonic in (Time, Seq) — so the per-buffer streams k-way merge
+// without a global sort.
 func (b *Bundle) Drain() (*trace.Trace, error) {
-	out := &trace.Trace{}
-	for _, pb := range []*ebpf.PerfBuffer{b.initPB, b.rtPB, b.knPB} {
-		for _, rec := range pb.Drain() {
+	var streams [3]*trace.Trace
+	for i, pb := range []*ebpf.PerfBuffer{b.initPB, b.rtPB, b.knPB} {
+		recs := pb.Drain()
+		t := &trace.Trace{Events: make([]trace.Event, 0, len(recs))}
+		for _, rec := range recs {
 			ev, err := DecodeRecord(rec)
 			if err != nil {
 				return nil, err
 			}
-			out.Append(ev)
+			t.Events = append(t.Events, ev)
 		}
+		streams[i] = t
 	}
-	out.SortByTime()
-	return out, nil
+	return trace.Merge(streams[0], streams[1], streams[2]), nil
 }
 
 // BridgeSched wires the simulated machine's scheduler notifications into
 // the kernel tracepoints, standing in for the kernel's static tracepoint
 // emission.
 func BridgeSched(m *sched.Machine, rt *ebpf.Runtime) {
+	swSite := rt.TracepointSiteFor("sched:sched_switch")
+	wuSite := rt.TracepointSiteFor("sched:sched_wakeup")
 	m.OnSwitch = func(sw sched.Switch) {
-		rt.FireTracepoint("sched:sched_switch", sw.CPU,
+		swSite.Fire(sw.CPU,
 			uint64(sw.PrevPID), uint64(sw.PrevPrio), uint64(sw.PrevState),
 			uint64(sw.NextPID), uint64(sw.NextPrio))
 	}
 	m.OnWakeup = func(wu sched.Wakeup) {
-		rt.FireTracepoint("sched:sched_wakeup", 0, uint64(wu.PID), uint64(wu.Prio))
+		wuSite.Fire(0, uint64(wu.PID), uint64(wu.Prio))
 	}
 }
 

@@ -113,38 +113,79 @@ func (s *Space) Read(a Addr, n int) ([]byte, error) {
 	return out, nil
 }
 
+// ReadInto copies len(dst) bytes at a into dst without allocating; the
+// probe_read helper's hot path.
+func (s *Space) ReadInto(a Addr, dst []byte) error {
+	if !s.Contains(a, len(dst)) {
+		return fmt.Errorf("umem: fault reading [%#x,+%d)", uint64(a), len(dst))
+	}
+	copy(dst, s.slice(a, len(dst)))
+	return nil
+}
+
 // ReadU64 reads a little-endian 64-bit value.
 func (s *Space) ReadU64(a Addr) (uint64, error) {
-	b, err := s.Read(a, 8)
-	if err != nil {
-		return 0, err
+	if !s.Contains(a, 8) {
+		return 0, fmt.Errorf("umem: fault reading [%#x,+8)", uint64(a))
 	}
-	return binary.LittleEndian.Uint64(b), nil
+	return binary.LittleEndian.Uint64(s.slice(a, 8)), nil
 }
 
 // ReadU32 reads a little-endian 32-bit value.
 func (s *Space) ReadU32(a Addr) (uint32, error) {
-	b, err := s.Read(a, 4)
-	if err != nil {
-		return 0, err
+	if !s.Contains(a, 4) {
+		return 0, fmt.Errorf("umem: fault reading [%#x,+4)", uint64(a))
 	}
-	return binary.LittleEndian.Uint32(b), nil
+	return binary.LittleEndian.Uint32(s.slice(a, 4)), nil
+}
+
+// cstringWindow locates the NUL-terminated string of at most max bytes at
+// a, returning the backing bytes (excluding the NUL). Faults mirror the
+// byte-at-a-time semantics of probe_read_str: running off the mapped
+// region before a terminator (and before max bytes) is a fault.
+func (s *Space) cstringWindow(a Addr, max int) ([]byte, error) {
+	if max <= 0 {
+		return nil, nil
+	}
+	avail := max
+	if !s.Contains(a, avail) {
+		// Clamp the window to the mapped region.
+		if !s.Contains(a, 1) {
+			return nil, fmt.Errorf("umem: fault reading [%#x,+1)", uint64(a))
+		}
+		avail = int(uint64(s.base) + uint64(len(s.mem)) - uint64(a))
+	}
+	win := s.slice(a, avail)
+	for i, b := range win {
+		if b == 0 {
+			return win[:i], nil
+		}
+	}
+	if avail < max {
+		return nil, fmt.Errorf("umem: fault reading [%#x,+1)", uint64(a)+uint64(avail))
+	}
+	return win, nil
 }
 
 // ReadCString reads a NUL-terminated string of at most max bytes.
 func (s *Space) ReadCString(a Addr, max int) (string, error) {
-	var out []byte
-	for i := 0; i < max; i++ {
-		b, err := s.Read(a+Addr(i), 1)
-		if err != nil {
-			return "", err
-		}
-		if b[0] == 0 {
-			return string(out), nil
-		}
-		out = append(out, b[0])
+	win, err := s.cstringWindow(a, max)
+	if err != nil {
+		return "", err
 	}
-	return string(out), nil
+	return string(win), nil
+}
+
+// ReadCStringInto copies a NUL-terminated string of at most len(dst) bytes
+// into dst without allocating, returning its length; the probe_read_str
+// helper's hot path.
+func (s *Space) ReadCStringInto(a Addr, dst []byte) (int, error) {
+	win, err := s.cstringWindow(a, len(dst))
+	if err != nil {
+		return 0, err
+	}
+	copy(dst, win)
+	return len(win), nil
 }
 
 // WriteU64 stores a little-endian 64-bit value at a.

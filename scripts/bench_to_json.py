@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Convert `go test -bench -benchmem` output on stdin into the
+BENCH_baseline.json snapshot: one entry per benchmark with ns/op, B/op and
+allocs/op, plus the goos/goarch/cpu header for provenance."""
+import json
+import re
+import sys
+
+meta = {}
+benches = {}
+line_re = re.compile(
+    r"^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op"
+    r"(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?"
+)
+
+for line in sys.stdin:
+    line = line.rstrip("\n")
+    for key in ("goos", "goarch", "cpu", "pkg"):
+        if line.startswith(key + ":"):
+            meta[key] = line.split(":", 1)[1].strip()
+    m = line_re.match(line)
+    if not m:
+        continue
+    name, iters, ns = m.group(1), int(m.group(2)), float(m.group(3))
+    entry = {"iterations": iters, "ns_per_op": ns}
+    if m.group(5) is not None:
+        entry["bytes_per_op"] = int(m.group(5))
+    if m.group(6) is not None:
+        entry["allocs_per_op"] = int(m.group(6))
+    benches[name] = entry
+
+if not benches:
+    sys.stderr.write("bench_to_json: no benchmark lines found on stdin\n")
+    sys.exit(1)
+
+json.dump({"meta": meta, "benchmarks": benches}, sys.stdout, indent=2, sort_keys=True)
+sys.stdout.write("\n")
