@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet check bench bench-smoke baseline
+.PHONY: all build test vet race check bench bench-smoke baseline
 
 all: check
 
@@ -13,7 +13,12 @@ test:
 vet:
 	$(GO) vet ./...
 
-check: vet build test
+# Race-detector pass over the library packages (the parallel harness and
+# the interned decode paths run under concurrency).
+race:
+	$(GO) test -race ./internal/...
+
+check: vet build test race
 
 # Full benchmark suite with allocation reporting.
 bench:

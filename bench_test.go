@@ -379,6 +379,72 @@ func BenchmarkTrace_MergeSorted(b *testing.B) {
 	}
 }
 
+// BenchmarkTrace_MergePerCPUStreams measures the many-stream merge the
+// per-CPU tracer bundle drains through: 24 single-CPU streams (3 tracers
+// × 8 CPUs), each already (Time, Seq) sorted, combined by the tournament
+// heap.
+func BenchmarkTrace_MergePerCPUStreams(b *testing.B) {
+	tr := avpTrace(b, 8*sim.Second)
+	const k = 24
+	streams := make([]*trace.Trace, k)
+	for i := range streams {
+		streams[i] = &trace.Trace{}
+	}
+	// Round-robin split of a sorted trace: every stream stays sorted, as
+	// a per-CPU ring's emission stream is.
+	for i, ev := range tr.Events {
+		s := streams[i%k]
+		s.Events = append(s.Events, ev)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if trace.Merge(streams...).Len() != tr.Len() {
+			b.Fatal("merge lost events")
+		}
+	}
+}
+
+// BenchmarkEBPF_PerfEmitPerCPU measures perf-ring emission round-robin
+// across 8 CPU rings — the buffer half of perf_event_output — with the
+// periodic drain a user-space poller performs.
+func BenchmarkEBPF_PerfEmitPerCPU(b *testing.B) {
+	pb := ebpf.NewPerfBuffer("bench", 0)
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pb.Emit(i&7, int64(i), payload)
+		if i&8191 == 8191 {
+			b.StopTimer()
+			pb.Drain()
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkEBPF_PerfDrainMerged measures the merged lock-free drain: 8K
+// records spread over 8 CPU rings, k-way merged back into (Time, Seq)
+// order.
+func BenchmarkEBPF_PerfDrainMerged(b *testing.B) {
+	pb := ebpf.NewPerfBuffer("bench", 0)
+	payload := make([]byte, 64)
+	const records = 8192
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for r := 0; r < records; r++ {
+			pb.Emit(r&7, int64(r), payload)
+		}
+		b.StartTimer()
+		if len(pb.Drain()) != records {
+			b.Fatal("drain lost records")
+		}
+	}
+}
+
 // BenchmarkTrace_FilterPID measures the per-PID sub-trace split Algorithm 1
 // performs for every traced process.
 func BenchmarkTrace_FilterPID(b *testing.B) {

@@ -125,5 +125,19 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World),
 	log.Printf("  %d events, %.2f MB perf payload, probe cost %.4f cores",
 		merged.Len(), float64(b.TraceBytes())/1e6,
 		w.Runtime().CostNs()/float64(duration))
+	// Per-CPU ring accounting, as a real perf_event_array poller reports
+	// it: payload per CPU, and any overruns attributed to the ring that
+	// dropped them.
+	bytesPerCPU := b.BytesPerCPU()
+	lostPerCPU := b.LostPerCPU()
+	for cpu := range bytesPerCPU {
+		if bytesPerCPU[cpu] == 0 && lostPerCPU[cpu] == 0 {
+			continue
+		}
+		log.Printf("  cpu%-2d %8.3f MB, %d lost", cpu, float64(bytesPerCPU[cpu])/1e6, lostPerCPU[cpu])
+	}
+	if lost := b.Lost(); lost > 0 {
+		log.Printf("  WARNING: %d records lost to ring overruns", lost)
+	}
 	return nil
 }

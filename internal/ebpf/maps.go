@@ -217,18 +217,21 @@ type PerfRecord struct {
 	Data []byte
 }
 
-// PerfBuffer is a BPF_MAP_TYPE_PERF_EVENT_ARRAY equivalent. Programs write
-// records; the user-space tracer drains them. A capacity bound models real
-// ring-buffer overruns: records beyond it are counted as lost.
-type PerfBuffer struct {
-	name     string
-	capacity int
-	seq      *uint64 // shared emission counter; may be nil
-	records  []PerfRecord
-	lost     uint64
-	bytes    uint64
+// perfRing is one per-CPU ring of a PerfBuffer, matching the per-CPU
+// mmap'd pages of a real BPF_MAP_TYPE_PERF_EVENT_ARRAY: its own record
+// queue, payload arena, and lost/byte counters. Exactly one simulated
+// CPU produces into a ring, and the drain consumes it by swapping the
+// record slice out, so neither path ever takes a lock. Like the Runtime
+// that owns it, a PerfBuffer belongs to one single-threaded simulation:
+// the no-lock design relies on that ownership (the ring set grows on
+// first emission from a new CPU and the emission counter is plain), not
+// on any cross-goroutine synchronization.
+type perfRing struct {
+	records []PerfRecord
+	lost    uint64
+	bytes   uint64
 	// arena backs record payloads in large chunks (the per-CPU scratch
-	// page of a real perf ring), so Emit does not allocate per record.
+	// page of a real perf ring), so emit does not allocate per record.
 	// Drained records keep pointing at their chunk; chunks are never
 	// rewound, only replaced when full.
 	arena []byte
@@ -236,13 +239,28 @@ type PerfBuffer struct {
 	lastDrain int
 }
 
+// PerfBuffer is a BPF_MAP_TYPE_PERF_EVENT_ARRAY equivalent: one ring per
+// CPU, allocated on first emission from that CPU. Programs write records
+// to the ring of the CPU they fire on; the user-space tracer drains the
+// rings merged by (Time, Seq) or one CPU at a time. A per-ring capacity
+// bound models real ring-buffer overruns: records beyond it are counted
+// as lost against the overrunning CPU.
+type PerfBuffer struct {
+	name     string
+	capacity int     // per-ring record bound; 0 means unbounded
+	seq      *uint64 // emission counter; shared across buffers or owned
+	rings    []perfRing
+}
+
 // perfArenaChunk is the allocation granule for record payloads.
 const perfArenaChunk = 64 << 10
 
-// NewPerfBuffer creates a perf buffer holding at most capacity undrained
-// records (0 means unbounded).
+// NewPerfBuffer creates a perf buffer whose rings each hold at most
+// capacity undrained records (0 means unbounded). The buffer stamps
+// records from its own emission counter, so the merged Drain reproduces
+// emission order even when virtual time stands still.
 func NewPerfBuffer(name string, capacity int) *PerfBuffer {
-	return &PerfBuffer{name: name, capacity: capacity}
+	return &PerfBuffer{name: name, capacity: capacity, seq: new(uint64)}
 }
 
 // NewPerfBufferSeq creates a perf buffer whose records are stamped from a
@@ -267,50 +285,176 @@ func (p *PerfBuffer) Update(uint64, uint64) error {
 // Delete implements Map; no-op.
 func (p *PerfBuffer) Delete(uint64) {}
 
-// Emit appends a record (called by the perf_event_output helper).
+// ring returns the ring for cpu, growing the ring set on first emission
+// from a new CPU. Negative CPUs (unpinned contexts) land on CPU 0.
+func (p *PerfBuffer) ring(cpu int) (*perfRing, int) {
+	if cpu < 0 {
+		cpu = 0
+	}
+	if cpu >= len(p.rings) {
+		rings := make([]perfRing, cpu+1)
+		copy(rings, p.rings)
+		p.rings = rings
+	}
+	return &p.rings[cpu], cpu
+}
+
+// Emit appends a record to the ring of the firing CPU (called by the
+// perf_event_output helper with ctx.CPU).
 func (p *PerfBuffer) Emit(cpu int, now int64, data []byte) {
-	if p.capacity > 0 && len(p.records) >= p.capacity {
-		p.lost++
+	r, cpu := p.ring(cpu)
+	if p.capacity > 0 && len(r.records) >= p.capacity {
+		r.lost++
 		return
 	}
-	if p.records == nil && p.lastDrain > 0 {
-		p.records = make([]PerfRecord, 0, p.lastDrain)
+	if r.records == nil && r.lastDrain > 0 {
+		r.records = make([]PerfRecord, 0, r.lastDrain)
 	}
-	if cap(p.arena)-len(p.arena) < len(data) {
+	if cap(r.arena)-len(r.arena) < len(data) {
 		size := perfArenaChunk
 		if len(data) > size {
 			size = len(data)
 		}
-		p.arena = make([]byte, 0, size)
+		r.arena = make([]byte, 0, size)
 	}
-	off := len(p.arena)
-	p.arena = append(p.arena, data...)
-	cp := p.arena[off:len(p.arena):len(p.arena)]
+	off := len(r.arena)
+	r.arena = append(r.arena, data...)
+	cp := r.arena[off:len(r.arena):len(r.arena)]
 	rec := PerfRecord{CPU: cpu, Time: now, Data: cp}
 	if p.seq != nil {
 		rec.Seq = *p.seq
 		*p.seq++
 	}
-	p.records = append(p.records, rec)
-	p.bytes += uint64(len(data))
+	r.records = append(r.records, rec)
+	r.bytes += uint64(len(data))
 }
 
-// Drain returns and clears the pending records. The next Emit sizes the
-// fresh record slice to the drained batch, so steady-state polling pays no
-// append-growth copies.
-func (p *PerfBuffer) Drain() []PerfRecord {
-	out := p.records
-	p.records = nil
-	p.lastDrain = len(out)
+// drain swaps a ring's pending records out. The ring's next emit sizes
+// the fresh record slice to the drained batch, so steady-state polling
+// pays no append-growth copies.
+func (r *perfRing) drain() []PerfRecord {
+	out := r.records
+	r.records = nil
+	r.lastDrain = len(out)
 	return out
 }
 
-// Lost reports how many records were dropped due to capacity.
-func (p *PerfBuffer) Lost() uint64 { return p.lost }
+// Drain returns and clears the pending records of every ring, merged
+// into (Time, Seq) order. Each ring drains by a plain slice swap and is
+// already monotonic in (Time, Seq) — virtual time never runs backwards
+// and the emission counter only grows — so the rings k-way merge without
+// a global sort; ties (possible only across buffers, never within one)
+// resolve to the lower CPU.
+func (p *PerfBuffer) Drain() []PerfRecord {
+	switch len(p.rings) {
+	case 0:
+		return nil
+	case 1:
+		return p.rings[0].drain()
+	}
+	streams := make([][]PerfRecord, 0, len(p.rings))
+	total := 0
+	for i := range p.rings {
+		if s := p.rings[i].drain(); len(s) > 0 {
+			streams = append(streams, s)
+			total += len(s)
+		}
+	}
+	switch len(streams) {
+	case 0:
+		return nil
+	case 1:
+		return streams[0]
+	}
+	out := make([]PerfRecord, 0, total)
+	for len(out) < total {
+		best := -1
+		for s := range streams {
+			if len(streams[s]) == 0 {
+				continue
+			}
+			if best < 0 || perfRecordLess(&streams[s][0], &streams[best][0]) {
+				best = s
+			}
+		}
+		out = append(out, streams[best][0])
+		streams[best] = streams[best][1:]
+	}
+	return out
+}
 
-// Bytes reports the cumulative payload bytes emitted (drained or not);
-// the overhead experiment uses it as the trace-volume measure.
-func (p *PerfBuffer) Bytes() uint64 { return p.bytes }
+// DrainCPU returns and clears the pending records of one CPU's ring, in
+// emission order. CPUs the buffer never saw drain empty.
+func (p *PerfBuffer) DrainCPU(cpu int) []PerfRecord {
+	if cpu < 0 || cpu >= len(p.rings) {
+		return nil
+	}
+	return p.rings[cpu].drain()
+}
 
-// Pending reports the number of undrained records.
-func (p *PerfBuffer) Pending() int { return len(p.records) }
+// perfRecordLess orders records by (Time, Seq), the same key the trace
+// merger uses.
+func perfRecordLess(a, b *PerfRecord) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.Seq < b.Seq
+}
+
+// NumRings reports how many per-CPU rings the buffer has materialized
+// (the highest emitting CPU index + 1).
+func (p *PerfBuffer) NumRings() int { return len(p.rings) }
+
+// Lost reports how many records were dropped due to per-ring capacity,
+// summed over all CPUs.
+func (p *PerfBuffer) Lost() uint64 {
+	var n uint64
+	for i := range p.rings {
+		n += p.rings[i].lost
+	}
+	return n
+}
+
+// LostOnCPU reports records dropped on one CPU's ring.
+func (p *PerfBuffer) LostOnCPU(cpu int) uint64 {
+	if cpu < 0 || cpu >= len(p.rings) {
+		return 0
+	}
+	return p.rings[cpu].lost
+}
+
+// Bytes reports the cumulative payload bytes emitted (drained or not)
+// across all CPUs; the overhead experiment uses it as the trace-volume
+// measure.
+func (p *PerfBuffer) Bytes() uint64 {
+	var n uint64
+	for i := range p.rings {
+		n += p.rings[i].bytes
+	}
+	return n
+}
+
+// BytesOnCPU reports the cumulative payload bytes emitted on one CPU.
+func (p *PerfBuffer) BytesOnCPU(cpu int) uint64 {
+	if cpu < 0 || cpu >= len(p.rings) {
+		return 0
+	}
+	return p.rings[cpu].bytes
+}
+
+// Pending reports the number of undrained records across all CPUs.
+func (p *PerfBuffer) Pending() int {
+	n := 0
+	for i := range p.rings {
+		n += len(p.rings[i].records)
+	}
+	return n
+}
+
+// PendingOnCPU reports the number of undrained records on one CPU.
+func (p *PerfBuffer) PendingOnCPU(cpu int) int {
+	if cpu < 0 || cpu >= len(p.rings) {
+		return 0
+	}
+	return len(p.rings[cpu].records)
+}

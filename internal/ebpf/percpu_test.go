@@ -1,0 +1,158 @@
+package ebpf
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPerfBufferPerCPUAccounting checks that capacity, lost and byte
+// counters are tracked per CPU ring, and that the buffer-level accessors
+// report their sums.
+func TestPerfBufferPerCPUAccounting(t *testing.T) {
+	pb := NewPerfBuffer("rings", 2)
+	// CPU 0: exactly at capacity. CPU 1: one over. CPU 3: three over,
+	// leaving CPU 2 as a never-emitting hole in the ring set.
+	pb.Emit(0, 1, []byte{1, 1})
+	pb.Emit(0, 2, []byte{2, 2})
+	for i := 0; i < 3; i++ {
+		pb.Emit(1, 3, []byte{3, 3, 3})
+	}
+	for i := 0; i < 5; i++ {
+		pb.Emit(3, 4, []byte{4})
+	}
+
+	if got := pb.NumRings(); got != 4 {
+		t.Fatalf("NumRings = %d, want 4", got)
+	}
+	wantLost := []uint64{0, 1, 0, 3}
+	wantBytes := []uint64{4, 6, 0, 2}
+	wantPending := []int{2, 2, 0, 2}
+	for cpu := 0; cpu < 4; cpu++ {
+		if got := pb.LostOnCPU(cpu); got != wantLost[cpu] {
+			t.Errorf("LostOnCPU(%d) = %d, want %d", cpu, got, wantLost[cpu])
+		}
+		if got := pb.BytesOnCPU(cpu); got != wantBytes[cpu] {
+			t.Errorf("BytesOnCPU(%d) = %d, want %d", cpu, got, wantBytes[cpu])
+		}
+		if got := pb.PendingOnCPU(cpu); got != wantPending[cpu] {
+			t.Errorf("PendingOnCPU(%d) = %d, want %d", cpu, got, wantPending[cpu])
+		}
+	}
+	if got := pb.Lost(); got != 4 {
+		t.Errorf("Lost = %d, want 4", got)
+	}
+	if got := pb.Bytes(); got != 12 {
+		t.Errorf("Bytes = %d, want 12", got)
+	}
+	if got := pb.Pending(); got != 6 {
+		t.Errorf("Pending = %d, want 6", got)
+	}
+	// Out-of-range CPUs are empty, not a panic.
+	if pb.LostOnCPU(-1) != 0 || pb.BytesOnCPU(99) != 0 || pb.PendingOnCPU(99) != 0 {
+		t.Error("out-of-range CPU accessors not zero")
+	}
+
+	// A drain empties pending but keeps cumulative lost/byte counters.
+	if got := len(pb.Drain()); got != 6 {
+		t.Fatalf("drained %d records, want 6", got)
+	}
+	if pb.Pending() != 0 || pb.Lost() != 4 || pb.Bytes() != 12 {
+		t.Errorf("post-drain counters: pending %d lost %d bytes %d", pb.Pending(), pb.Lost(), pb.Bytes())
+	}
+	// Capacity frees up after the drain.
+	pb.Emit(1, 9, []byte{9})
+	if pb.LostOnCPU(1) != 1 || pb.PendingOnCPU(1) != 1 {
+		t.Errorf("ring 1 after drain: lost %d pending %d", pb.LostOnCPU(1), pb.PendingOnCPU(1))
+	}
+}
+
+// TestPerfBufferMergedDrainOrder interleaves emissions across CPUs and
+// checks the merged drain reproduces global (Time, Seq) order — which,
+// with the buffer's own emission counter, is exactly emission order.
+func TestPerfBufferMergedDrainOrder(t *testing.T) {
+	pb := NewPerfBuffer("merge", 0)
+	// (cpu, time) in emission order; times repeat across and within CPUs.
+	emissions := []struct {
+		cpu  int
+		time int64
+	}{
+		{2, 10}, {0, 10}, {1, 11}, {0, 11}, {2, 11}, {1, 12}, {0, 12}, {0, 12},
+	}
+	for i, e := range emissions {
+		pb.Emit(e.cpu, e.time, []byte{byte(i)})
+	}
+	recs := pb.Drain()
+	if len(recs) != len(emissions) {
+		t.Fatalf("drained %d records, want %d", len(recs), len(emissions))
+	}
+	for i, rec := range recs {
+		if int(rec.Data[0]) != i {
+			t.Fatalf("record %d is emission %d; merged drain broke emission order", i, rec.Data[0])
+		}
+		if rec.CPU != emissions[i].cpu || rec.Time != emissions[i].time {
+			t.Fatalf("record %d = cpu%d t=%d, want cpu%d t=%d",
+				i, rec.CPU, rec.Time, emissions[i].cpu, emissions[i].time)
+		}
+	}
+	if pb.Pending() != 0 {
+		t.Fatalf("pending after drain = %d", pb.Pending())
+	}
+}
+
+// TestPerfBufferDrainCPU checks single-ring drains are independent.
+func TestPerfBufferDrainCPU(t *testing.T) {
+	pb := NewPerfBuffer("single", 0)
+	pb.Emit(0, 1, []byte{0xA})
+	pb.Emit(1, 2, []byte{0xB})
+	pb.Emit(0, 3, []byte{0xC})
+
+	got := pb.DrainCPU(0)
+	want := [][]byte{{0xA}, {0xC}}
+	if len(got) != 2 {
+		t.Fatalf("DrainCPU(0) = %d records, want 2", len(got))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i].Data, want[i]) {
+			t.Fatalf("DrainCPU(0)[%d].Data = %v, want %v", i, got[i].Data, want[i])
+		}
+	}
+	if pb.PendingOnCPU(1) != 1 {
+		t.Fatal("DrainCPU(0) touched CPU 1's ring")
+	}
+	if recs := pb.DrainCPU(7); recs != nil {
+		t.Fatalf("DrainCPU of unmaterialized ring = %v", recs)
+	}
+	if recs := pb.Drain(); len(recs) != 1 || recs[0].Data[0] != 0xB {
+		t.Fatalf("final merged drain = %v", recs)
+	}
+}
+
+// TestPerfBufferSharedSeqMergesAcrossBuffers checks buffers sharing one
+// emission counter still produce a total order across per-CPU rings.
+func TestPerfBufferSharedSeqMergesAcrossBuffers(t *testing.T) {
+	var seq uint64
+	a := NewPerfBufferSeq("a", 0, &seq)
+	b := NewPerfBufferSeq("b", 0, &seq)
+	a.Emit(1, 5, []byte{0})
+	b.Emit(0, 5, []byte{1})
+	a.Emit(0, 5, []byte{2})
+	b.Emit(2, 6, []byte{3})
+
+	var all []PerfRecord
+	all = append(all, a.Drain()...)
+	all = append(all, b.Drain()...)
+	// Per-buffer drains are (Time, Seq) sorted; a two-way merge on Seq
+	// must reproduce emission order 0,1,2,3.
+	seen := make([]bool, 4)
+	for _, rec := range all {
+		seen[rec.Data[0]] = true
+		if rec.Seq != uint64(rec.Data[0]) {
+			t.Fatalf("record %d has Seq %d", rec.Data[0], rec.Seq)
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("emission %d lost", i)
+		}
+	}
+}

@@ -256,7 +256,15 @@ func (rt *Runtime) Attachments() []string {
 // word 0 (uretprobes); args are copied into the scratch buffer so callers'
 // variadic slices never escape to the heap. The returned context is valid
 // until the next fire.
+//
+// ctx.CPU is the firing CPU: perf_event_output appends to that CPU's ring
+// of the target perf buffer, as the kernel helper does with
+// BPF_F_CURRENT_CPU. Unpinned contexts (negative cpu) are normalized to
+// CPU 0 so the context always names a real ring.
 func (rt *Runtime) execCtx(pid uint32, cpu int, hasRet bool, ret uint64, args []uint64) *ExecContext {
+	if cpu < 0 {
+		cpu = 0
+	}
 	words := rt.fireWords[:0]
 	if hasRet {
 		words = append(words, ret)

@@ -87,6 +87,13 @@ type Session struct {
 	KernelBytes uint64
 	ProbeCostNs float64
 	AppCPUNs    float64
+
+	// Per-CPU ring accounting, indexed by CPU and summed over the three
+	// tracers: where the trace volume was produced and which rings
+	// overran. LostRecords is the total across CPUs.
+	BytesPerCPU []uint64
+	LostPerCPU  []uint64
+	LostRecords uint64
 }
 
 // RunSession boots a world, attaches the three tracers (kernel tracer
@@ -121,6 +128,9 @@ func RunSession(seed uint64, cpus int, duration sim.Duration, filteredKernel boo
 		World: w, Bundle: b, Trace: tr,
 		TraceBytes:  b.TraceBytes(),
 		ProbeCostNs: w.Runtime().CostNs(),
+		BytesPerCPU: b.BytesPerCPU(),
+		LostPerCPU:  b.LostPerCPU(),
+		LostRecords: b.Lost(),
 	}
 	for _, th := range w.Machine().Threads() {
 		s.AppCPUNs += float64(th.CPUTime())

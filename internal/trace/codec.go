@@ -85,7 +85,7 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 			return nil, err
 		}
 		n := binary.LittleEndian.Uint32(lenBuf[:])
-		if n < 61 || n > 1<<20 {
+		if n < recFixedSize || n > 1<<20 {
 			return nil, fmt.Errorf("trace: implausible record length %d", n)
 		}
 		buf := make([]byte, n)
@@ -100,8 +100,24 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	}
 }
 
+// recFixedSize is the byte count of a record's fixed fields: the kind
+// byte, the numeric header, and the two (possibly zero-length) string
+// length prefixes. Shorter records cannot have been produced by
+// WriteBinary.
+const recFixedSize = 1 + // kind
+	8 + 8 + 4 + // time, seq, pid
+	8 + 8 + 8 + // cbid, srcts, ret
+	4*6 + // cpu, prevPid, nextPid, prevPrio, nextPrio, prevState
+	2 + 2 // nodeLen, topicLen
+
+// decodeRecord decodes one length-delimited record body. Every read is
+// bounds-checked: a truncated or corrupt record returns an error instead
+// of panicking, so callers can feed the codec untrusted trace files.
 func decodeRecord(b []byte) (Event, error) {
 	var e Event
+	if len(b) < recFixedSize {
+		return e, fmt.Errorf("trace: record too short: %d bytes, need at least %d", len(b), recFixedSize)
+	}
 	e.Kind = Kind(b[0])
 	if e.Kind == KindInvalid || e.Kind >= numKinds {
 		return e, fmt.Errorf("trace: invalid kind %d", b[0])
@@ -123,17 +139,24 @@ func decodeRecord(b []byte) (Event, error) {
 	e.PrevState = int32(u32())
 	nodeLen := int(binary.LittleEndian.Uint16(b[o:]))
 	o += 2
-	if o+nodeLen > len(b) {
+	// The second length prefix still has to fit after the node bytes.
+	if o+nodeLen+2 > len(b) {
 		return e, fmt.Errorf("trace: node string overruns record")
 	}
-	e.Node = string(b[o : o+nodeLen])
+	node := b[o : o+nodeLen]
 	o += nodeLen
 	topicLen := int(binary.LittleEndian.Uint16(b[o:]))
 	o += 2
 	if o+topicLen > len(b) {
 		return e, fmt.Errorf("trace: topic string overruns record")
 	}
-	e.Topic = string(b[o : o+topicLen])
+	if o+topicLen != len(b) {
+		return e, fmt.Errorf("trace: %d trailing bytes after record", len(b)-o-topicLen)
+	}
+	// Intern only once the whole record has validated, so malformed
+	// input cannot populate the process-wide name table.
+	e.Node = InternBytes(node)
+	e.Topic = InternBytes(b[o : o+topicLen])
 	return e, nil
 }
 

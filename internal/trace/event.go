@@ -301,6 +301,9 @@ func Merge(traces ...*Trace) *Trace {
 		return out
 	}
 	idx := make([]int, len(ins))
+	if len(ins) > mergeLinearStreams {
+		return mergeHeap(out, ins, idx, total)
+	}
 	for len(out.Events) < total {
 		best := -1
 		for t := range ins {
@@ -313,6 +316,63 @@ func Merge(traces ...*Trace) *Trace {
 		}
 		out.Events = append(out.Events, ins[best].Events[idx[best]])
 		idx[best]++
+	}
+	return out
+}
+
+// mergeLinearStreams is the stream count up to which Merge scans every
+// head per output event; beyond it (e.g. the tracer bundle's 3×NCPU
+// per-CPU rings) a tournament heap keeps the per-event cost logarithmic.
+const mergeLinearStreams = 4
+
+// mergeHeap is the many-stream merge path: a binary min-heap of stream
+// indexes ordered by head event, tie-broken by input index so the output
+// is byte-identical to the linear scan (and to the stable sort of the
+// concatenation).
+func mergeHeap(out *Trace, ins []*Trace, idx []int, total int) *Trace {
+	less := func(a, b int) bool {
+		ea, eb := &ins[a].Events[idx[a]], &ins[b].Events[idx[b]]
+		if ea.Time != eb.Time {
+			return ea.Time < eb.Time
+		}
+		if ea.Seq != eb.Seq {
+			return ea.Seq < eb.Seq
+		}
+		return a < b
+	}
+	heap := make([]int, len(ins))
+	for i := range ins {
+		heap[i] = i
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(heap) && less(heap[l], heap[m]) {
+				m = l
+			}
+			if r < len(heap) && less(heap[r], heap[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for len(out.Events) < total {
+		t := heap[0]
+		out.Events = append(out.Events, ins[t].Events[idx[t]])
+		idx[t]++
+		if idx[t] >= len(ins[t].Events) {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		siftDown(0)
 	}
 	return out
 }

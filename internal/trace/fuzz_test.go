@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadBinary feeds arbitrary bytes to the binary trace reader. The
+// codec must never panic on malformed input — truncated records, corrupt
+// length prefixes, oversized string fields — and anything it accepts must
+// re-encode cleanly.
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid encoding, a truncation of it, and a few
+	// deliberately corrupt variants so the fuzzer starts at the
+	// interesting boundaries.
+	var valid bytes.Buffer
+	if err := WriteBinary(&valid, &Trace{Events: sampleEvents()}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+	f.Add([]byte(binMagic))
+	f.Add([]byte("not a trace file"))
+	corrupt := append([]byte(nil), valid.Bytes()...)
+	binary.LittleEndian.PutUint32(corrupt[len(binMagic):], 1<<19)
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip: what decoded must re-encode.
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("re-decode lost events: %d != %d", back.Len(), tr.Len())
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package trace
+
+import "sync"
+
+// Node and topic names recur on almost every record of a trace — a few
+// dozen distinct strings across millions of events — so decoding paid one
+// string allocation per record for names it had already seen. InternBytes
+// returns one canonical string per distinct byte content instead.
+//
+// The table is shared process-wide because the harness decodes sessions
+// from many worker goroutines concurrently; lookups take a read lock on
+// the hit path (the overwhelmingly common case) and the map key lookup by
+// string(b) does not allocate. Retention is bounded on two axes, because
+// the binary codec feeds this table from untrusted trace files: names
+// longer than internMaxLen bypass the table entirely (real node/topic
+// names are tens of bytes), and once internMaxEntries distinct names
+// have been seen — far beyond any real topic space, so reaching it means
+// the input is adversarial — further misses fall back to plain
+// allocation rather than growing without bound. Worst-case pinned memory
+// is internMaxEntries × internMaxLen = 16 MiB.
+type internTable struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+const (
+	internMaxEntries = 1 << 16
+	internMaxLen     = 256
+)
+
+var interned = internTable{m: make(map[string]string)}
+
+// InternBytes returns the canonical string for the byte content of b.
+func InternBytes(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > internMaxLen {
+		return string(b)
+	}
+	t := &interned
+	t.mu.RLock()
+	s, ok := t.m[string(b)]
+	t.mu.RUnlock()
+	if ok {
+		return s
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok = t.m[string(b)]; ok {
+		return s
+	}
+	s = string(b)
+	if len(t.m) < internMaxEntries {
+		t.m[s] = s
+	}
+	return s
+}
+
+// InternString returns the canonical string equal to s, interning it on
+// first sight.
+func InternString(s string) string {
+	if s == "" {
+		return ""
+	}
+	if len(s) > internMaxLen {
+		return s
+	}
+	t := &interned
+	t.mu.RLock()
+	c, ok := t.m[s]
+	t.mu.RUnlock()
+	if ok {
+		return c
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok = t.m[s]; ok {
+		return c
+	}
+	if len(t.m) < internMaxEntries {
+		t.m[s] = s
+	}
+	return s
+}

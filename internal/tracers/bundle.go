@@ -205,36 +205,91 @@ func (b *Bundle) StopAll() {
 	b.StopKernel()
 }
 
+// perfBuffers returns the three tracer buffers in TR_IN, TR_RT, TR_KN
+// order.
+func (b *Bundle) perfBuffers() [3]*ebpf.PerfBuffer {
+	return [3]*ebpf.PerfBuffer{b.initPB, b.rtPB, b.knPB}
+}
+
 // TraceBytes reports the cumulative perf-buffer payload bytes across all
-// three tracers — the paper's trace-volume metric.
+// three tracers and all CPU rings — the paper's trace-volume metric.
 func (b *Bundle) TraceBytes() uint64 {
 	return b.initPB.Bytes() + b.rtPB.Bytes() + b.knPB.Bytes()
 }
 
-// Lost reports records dropped due to perf-buffer capacity.
+// Lost reports records dropped due to per-CPU ring capacity, summed over
+// the three tracers and all CPUs.
 func (b *Bundle) Lost() uint64 {
 	return b.initPB.Lost() + b.rtPB.Lost() + b.knPB.Lost()
 }
 
-// Drain decodes and merges all pending records from the three tracers into
-// one chronologically sorted trace. Each perf buffer drains in emission
-// order — monotonic in (Time, Seq) — so the per-buffer streams k-way merge
-// without a global sort.
-func (b *Bundle) Drain() (*trace.Trace, error) {
-	var streams [3]*trace.Trace
-	for i, pb := range []*ebpf.PerfBuffer{b.initPB, b.rtPB, b.knPB} {
-		recs := pb.Drain()
-		t := &trace.Trace{Events: make([]trace.Event, 0, len(recs))}
-		for _, rec := range recs {
-			ev, err := DecodeRecord(rec)
-			if err != nil {
-				return nil, err
-			}
-			t.Events = append(t.Events, ev)
+// NumCPUStats reports how many per-CPU slots LostPerCPU/BytesPerCPU
+// cover: the highest CPU any tracer ring materialized, plus one.
+func (b *Bundle) NumCPUStats() int {
+	n := 0
+	for _, pb := range b.perfBuffers() {
+		if r := pb.NumRings(); r > n {
+			n = r
 		}
-		streams[i] = t
 	}
-	return trace.Merge(streams[0], streams[1], streams[2]), nil
+	return n
+}
+
+// LostPerCPU reports records dropped per CPU, summed across the three
+// tracers — the realistic lost-record accounting a per-CPU
+// perf_event_array gives user space.
+func (b *Bundle) LostPerCPU() []uint64 {
+	out := make([]uint64, b.NumCPUStats())
+	for _, pb := range b.perfBuffers() {
+		for cpu := 0; cpu < pb.NumRings(); cpu++ {
+			out[cpu] += pb.LostOnCPU(cpu)
+		}
+	}
+	return out
+}
+
+// BytesPerCPU reports cumulative payload bytes emitted per CPU, summed
+// across the three tracers.
+func (b *Bundle) BytesPerCPU() []uint64 {
+	out := make([]uint64, b.NumCPUStats())
+	for _, pb := range b.perfBuffers() {
+		for cpu := 0; cpu < pb.NumRings(); cpu++ {
+			out[cpu] += pb.BytesOnCPU(cpu)
+		}
+	}
+	return out
+}
+
+// Drain decodes and merges all pending records from the three tracers into
+// one chronologically sorted trace. Each tracer owns one ring per CPU, so
+// the drain is a k-way merge over 3×NCPU streams: every ring drains in
+// emission order — monotonic in (Time, Seq), since virtual time never
+// runs backwards and the shared emission counter only grows — and
+// trace.Merge combines them without a global sort.
+func (b *Bundle) Drain() (*trace.Trace, error) {
+	nRings := 0
+	for _, pb := range b.perfBuffers() {
+		nRings += pb.NumRings()
+	}
+	streams := make([]*trace.Trace, 0, nRings)
+	for _, pb := range b.perfBuffers() {
+		for cpu := 0; cpu < pb.NumRings(); cpu++ {
+			recs := pb.DrainCPU(cpu)
+			if len(recs) == 0 {
+				continue
+			}
+			t := &trace.Trace{Events: make([]trace.Event, 0, len(recs))}
+			for _, rec := range recs {
+				ev, err := DecodeRecord(rec)
+				if err != nil {
+					return nil, err
+				}
+				t.Events = append(t.Events, ev)
+			}
+			streams = append(streams, t)
+		}
+	}
+	return trace.Merge(streams...), nil
 }
 
 // BridgeSched wires the simulated machine's scheduler notifications into
@@ -311,10 +366,12 @@ func DecodeRecord(rec ebpf.PerfRecord) (trace.Event, error) {
 		for n < len(s) && s[n] != 0 {
 			n++
 		}
+		// Node and topic names recur on every record; interning returns
+		// the canonical string instead of allocating one per record.
 		if kind == trace.KindCreateNode {
-			e.Node = string(s[:n])
+			e.Node = trace.InternBytes(s[:n])
 		} else {
-			e.Topic = string(s[:n])
+			e.Topic = trace.InternBytes(s[:n])
 		}
 	default:
 		if len(rec.Data) != recPlainSize {

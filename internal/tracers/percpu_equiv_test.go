@@ -1,0 +1,129 @@
+package tracers
+
+import (
+	"testing"
+
+	"github.com/tracesynth/rostracer/internal/apps"
+	"github.com/tracesynth/rostracer/internal/ebpf"
+	"github.com/tracesynth/rostracer/internal/rclcpp"
+	"github.com/tracesynth/rostracer/internal/sim"
+	"github.com/tracesynth/rostracer/internal/trace"
+)
+
+// tracedSession boots a deterministic SYN+AVP world with all three
+// tracers attached and runs it, leaving the perf rings full and
+// undrained.
+func tracedSession(t *testing.T, seed uint64) *Bundle {
+	t.Helper()
+	w := rclcpp.NewWorld(rclcpp.Config{NumCPUs: 6, Seed: seed})
+	b, err := NewBundle(w.Runtime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	BridgeSched(w.Machine(), w.Runtime())
+	if err := b.StartInit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.StartRT(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.StartKernel(true); err != nil {
+		t.Fatal(err)
+	}
+	apps.BuildAVP(w, apps.AVPConfig{})
+	apps.BuildSYN(w, apps.SYNConfig{})
+	b.StopInit()
+	w.Run(4 * sim.Second)
+	return b
+}
+
+// preSplitDrain reproduces the single-buffer implementation Drain had
+// before the per-CPU split: each tracer's records in one emission-ordered
+// stream, the three streams merged. It is the reference the per-CPU
+// drain must match byte for byte.
+func preSplitDrain(t *testing.T, b *Bundle) *trace.Trace {
+	t.Helper()
+	var streams [3]*trace.Trace
+	for i, pb := range []*ebpf.PerfBuffer{b.initPB, b.rtPB, b.knPB} {
+		recs := pb.Drain() // merged across rings = emission order
+		tr := &trace.Trace{Events: make([]trace.Event, 0, len(recs))}
+		for _, rec := range recs {
+			ev, err := DecodeRecord(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr.Events = append(tr.Events, ev)
+		}
+		streams[i] = tr
+	}
+	return trace.Merge(streams[0], streams[1], streams[2])
+}
+
+// TestPerCPUDrainMatchesPreSplit runs two identical sessions and drains
+// one through the per-CPU Bundle.Drain (3×NCPU ring streams merged) and
+// the other through the pre-split reference. Event order and content
+// must be identical — the acceptance bar for the ring split.
+func TestPerCPUDrainMatchesPreSplit(t *testing.T) {
+	const seed = 42
+	bundleNew := tracedSession(t, seed)
+	bundleRef := tracedSession(t, seed)
+
+	got, err := bundleNew.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := preSplitDrain(t, bundleRef)
+
+	if got.Len() == 0 {
+		t.Fatal("session produced no events")
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("per-CPU drain has %d events, pre-split %d", got.Len(), want.Len())
+	}
+	for i := range want.Events {
+		if got.Events[i] != want.Events[i] {
+			t.Fatalf("event %d differs:\n per-CPU:  %v\n pre-split: %v",
+				i, got.Events[i], want.Events[i])
+		}
+	}
+
+	// The merged drain must also be its own (Time, Seq) sort — the global
+	// chronological order Algorithm 1 requires.
+	sorted := got.Clone()
+	sorted.SortByTime()
+	for i := range got.Events {
+		if got.Events[i] != sorted.Events[i] {
+			t.Fatalf("drain output not (Time, Seq) sorted at %d", i)
+		}
+	}
+}
+
+// TestBundleRingsSpreadAcrossCPUs checks the split is real: a
+// multi-CPU session materializes more than one ring on the RT tracer and
+// the per-CPU byte accounting sums to the bundle totals.
+func TestBundleRingsSpreadAcrossCPUs(t *testing.T) {
+	b := tracedSession(t, 7)
+	if rings := b.rtPB.NumRings(); rings < 2 {
+		t.Fatalf("RT tracer materialized %d rings; events all landed on one CPU", rings)
+	}
+	perCPU := b.BytesPerCPU()
+	var sum uint64
+	active := 0
+	for _, n := range perCPU {
+		sum += n
+		if n > 0 {
+			active++
+		}
+	}
+	if sum != b.TraceBytes() {
+		t.Fatalf("per-CPU bytes sum %d != TraceBytes %d", sum, b.TraceBytes())
+	}
+	if active < 2 {
+		t.Fatalf("only %d CPUs emitted; expected a multi-CPU spread", active)
+	}
+	for _, n := range b.LostPerCPU() {
+		if n != 0 {
+			t.Fatal("unbounded rings lost records")
+		}
+	}
+}

@@ -8,8 +8,11 @@ import sys
 
 meta = {}
 benches = {}
+# The name group must not swallow the -N GOMAXPROCS suffix go test
+# appends on multi-core machines, or baseline keys would depend on the
+# machine's core count and never match a baseline taken elsewhere.
 line_re = re.compile(
-    r"^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op"
+    r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op"
     r"(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?"
 )
 
