@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-smoke baseline
+.PHONY: all build test vet race check bench bench-smoke stream-bench fuzz-smoke baseline
 
 all: check
 
@@ -27,6 +27,15 @@ bench:
 # One-iteration structural smoke pass (used by CI).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x .
+
+# Streaming-pipeline microbenchmarks: stream vs batch drain and the
+# incremental model builder, with allocation reporting.
+stream-bench:
+	$(GO) test -run '^$$' -bench 'Bundle_|Alg1_|Trace_Merge' -benchmem .
+
+# Short coverage-guided fuzz pass over the binary trace codec (used by CI).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReadBinary -fuzztime 10s ./internal/trace
 
 # Regenerate the BENCH_baseline.json snapshot future perf PRs compare
 # against.

@@ -482,3 +482,106 @@ func (w *writeCounter) Write(p []byte) (int, error) {
 	*w += writeCounter(len(p))
 	return len(p), nil
 }
+
+// benchTracedWorld boots an AVP+SYN world under all three tracers for
+// the streaming-drain benchmarks; each iteration refills the rings by
+// advancing the simulation off the clock.
+func benchTracedWorld(b *testing.B) (*rclcpp.World, *tracers.Bundle) {
+	b.Helper()
+	w := rclcpp.NewWorld(rclcpp.Config{NumCPUs: 8, Seed: 5})
+	bd, err := tracers.NewBundle(w.Runtime())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tracers.BridgeSched(w.Machine(), w.Runtime())
+	for _, err := range []error{bd.StartInit(), bd.StartRT(), bd.StartKernel(true)} {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	harness.BuildBoth(1)(w)
+	bd.StopInit()
+	return w, bd
+}
+
+// BenchmarkBundle_BatchDrain measures the batch drain of one 500 ms
+// segment: decode + merge into a materialized trace. Its allocations
+// carry the full merged event slice — the peak-memory cost the
+// streaming path exists to avoid.
+func BenchmarkBundle_BatchDrain(b *testing.B) {
+	w, bd := benchTracedWorld(b)
+	events := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w.Run(500 * sim.Millisecond)
+		b.StartTimer()
+		tr, err := bd.Drain()
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += tr.Len()
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkBundle_StreamDrain measures the streaming drain of the same
+// 500 ms segment into a counting sink: per-ring cursors, lazy decode,
+// tournament merge — no event slice is ever built, so allocations stay
+// per-drain-constant instead of per-event.
+func BenchmarkBundle_StreamDrain(b *testing.B) {
+	w, bd := benchTracedWorld(b)
+	var kc trace.KindCounter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w.Run(500 * sim.Millisecond)
+		b.StartTimer()
+		if err := bd.StreamTo(&kc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(kc.Total())/float64(b.N), "events/op")
+}
+
+// BenchmarkBundle_StreamSynthesize measures the full streaming pipeline
+// stage: one 500 ms segment drained straight into the incremental
+// Algorithm 1/2 builder (sched events folded online, ROS events
+// buffered).
+func BenchmarkBundle_StreamSynthesize(b *testing.B) {
+	w, bd := benchTracedWorld(b)
+	mb := core.NewModelBuilder()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w.Run(500 * sim.Millisecond)
+		b.StartTimer()
+		if err := bd.StreamTo(mb); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(mb.SchedEventsFolded())/float64(b.N), "schedfolded/op")
+}
+
+// BenchmarkAlg1_StreamModel measures the incremental extraction over a
+// 20 s AVP trace — the streaming counterpart of
+// BenchmarkAlg1_ExtractModel (no clone, no sort, no per-PID sched
+// filtering; exec times accumulate as events pass).
+func BenchmarkAlg1_StreamModel(b *testing.B) {
+	tr := avpTrace(b, 20*sim.Second)
+	tr.SortByTime()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mb := core.NewModelBuilder()
+		for _, e := range tr.Events {
+			mb.Observe(e)
+		}
+		if len(mb.Finish().Callbacks) == 0 {
+			b.Fatal("empty model")
+		}
+	}
+}

@@ -33,11 +33,13 @@ var experiments = map[string]func(harness.Config) (harness.Result, error){
 	"ablation-service": harness.AblationServiceExperiment,
 	"ablation-sync":    harness.AblationSyncExperiment,
 	"validation":       harness.ValidationExperiment,
+	"capacity-plan":    harness.CapacityPlanExperiment,
 }
 
 var order = []string{
 	"tableI", "fig3a", "fig3b", "tableII", "fig4",
 	"overheads", "fig2", "ablation-service", "ablation-sync", "validation",
+	"capacity-plan",
 }
 
 func main() {

@@ -74,7 +74,7 @@ func buildFunc(app string) (func(*rclcpp.World), error) {
 }
 
 func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World),
-	seed uint64, cpus int, duration, segment sim.Duration, filtered, jsonl bool, outDir string) error {
+	seed uint64, cpus int, duration, segment sim.Duration, filtered, jsonl bool, outDir string) (retErr error) {
 	w := rclcpp.NewWorld(rclcpp.Config{NumCPUs: cpus, Seed: seed})
 	b, err := tracers.NewBundle(w.Runtime())
 	if err != nil {
@@ -93,7 +93,30 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World),
 	build(w)
 	b.StopInit()
 
-	var all []*trace.Trace
+	// The periodic-drain loop is fully streaming: each period's ring
+	// segments decode and merge directly into the per-segment store
+	// collector (and, when asked, the JSONL sink), so peak memory is one
+	// segment — never the whole run. Successive drains stay globally
+	// (Time, Seq) ordered, which keeps the concatenated JSONL identical
+	// to what a whole-run merge would emit.
+	var jsonlSink *trace.JSONLSink
+	if jsonl {
+		jsonlPath := fmt.Sprintf("%s/%s.jsonl", outDir, session)
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		// A run that fails mid-way must not leave a truncated .jsonl
+		// behind looking like a complete trace.
+		defer func() {
+			if retErr != nil {
+				os.Remove(jsonlPath)
+			}
+		}()
+		jsonlSink = trace.NewJSONLSink(f)
+	}
+	totalEvents := 0
 	segIdx := 0
 	for elapsed := sim.Duration(0); elapsed < duration; elapsed += segment {
 		step := segment
@@ -101,29 +124,35 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World),
 			step = duration - elapsed
 		}
 		w.Run(step)
-		seg, err := b.Drain()
-		if err != nil {
+		var col trace.Collector
+		sink := trace.Sink(&col)
+		if jsonlSink != nil {
+			sink = trace.MultiSink(&col, jsonlSink)
+		}
+		if err := b.StreamTo(sink); err != nil {
 			return err
 		}
-		if err := store.SaveSegment(session, segIdx, seg); err != nil {
+		if jsonlSink != nil {
+			// Encoding errors are sticky in the sink; surface them at the
+			// segment that hit them instead of simulating the rest of the
+			// run first.
+			if err := jsonlSink.Err(); err != nil {
+				return err
+			}
+		}
+		if err := store.SaveSegment(session, segIdx, &col.Trace); err != nil {
 			return err
 		}
-		all = append(all, seg)
+		totalEvents += col.Trace.Len()
 		segIdx++
 	}
-	if jsonl {
-		f, err := os.Create(fmt.Sprintf("%s/%s.jsonl", outDir, session))
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := trace.WriteJSONL(f, trace.Merge(all...)); err != nil {
+	if jsonlSink != nil {
+		if err := jsonlSink.Flush(); err != nil {
 			return err
 		}
 	}
-	merged := trace.Merge(all...)
 	log.Printf("  %d events, %.2f MB perf payload, probe cost %.4f cores",
-		merged.Len(), float64(b.TraceBytes())/1e6,
+		totalEvents, float64(b.TraceBytes())/1e6,
 		w.Runtime().CostNs()/float64(duration))
 	// Per-CPU ring accounting, as a real perf_event_array poller reports
 	// it: payload per CPU, and any overruns attributed to the ring that

@@ -154,6 +154,12 @@ func (idx *eventIndex) findClient(respTopic string, srcTS int64) uint64 {
 	return 0
 }
 
+// etFunc computes the measured execution time of one callback-instance
+// window. The batch pipeline backs it with ExecTime over the node's
+// materialized sched_switch events; the streaming pipeline with exec
+// times accumulated online while the window was open.
+type etFunc func(start, end sim.Time, startSeq, endSeq uint64) sim.Duration
+
 // ExtractCallbacks is Algorithm 1: it traverses the ROS events of one node
 // (identified by PID) in chronological order and assembles its CBlist with
 // architectural and timing attributes. rosAll must contain the ROS events
@@ -161,6 +167,14 @@ func (idx *eventIndex) findClient(respTopic string, srcTS int64) uint64 {
 // schedPID must contain the sched_switch events mentioning pid. Both must
 // be time-sorted.
 func ExtractCallbacks(pid uint32, idx *eventIndex, schedPID []trace.Event) ([]*Callback, []Diagnostic) {
+	return extractCallbacks(pid, idx, func(start, end sim.Time, startSeq, endSeq uint64) sim.Duration {
+		return ExecTime(start, end, startSeq, endSeq, pid, schedPID)
+	})
+}
+
+// extractCallbacks is Algorithm 1's traversal with the execution-time
+// measurement abstracted behind et.
+func extractCallbacks(pid uint32, idx *eventIndex, et etFunc) ([]*Callback, []Diagnostic) {
 	var list []*Callback
 	var diags []Diagnostic
 
@@ -281,7 +295,7 @@ func ExtractCallbacks(pid uint32, idx *eventIndex, schedPID []trace.Event) ([]*C
 			end := event.Time
 			curInst.Start = curStart
 			curInst.End = end
-			curInst.ET = ExecTime(curStart, end, curStartSeq, event.Seq, pid, schedPID)
+			curInst.ET = et(curStart, end, curStartSeq, event.Seq)
 			addToList(cur, curInst)
 			reset()
 		}
@@ -308,19 +322,17 @@ type Model struct {
 	Diags []Diagnostic
 }
 
-// ExtractModel runs Algorithm 1 for every ROS2 node found in the trace
-// (via P1 events; PIDs with ROS events but no P1 record — e.g. bare DDS
-// replayers — are not modeled, matching the paper's deployment where only
-// initialized ROS2 nodes are synthesized).
-func ExtractModel(tr *trace.Trace) *Model {
-	sorted := tr.Clone()
-	sorted.SortByTime()
-
-	ros := sorted.ROSEvents()
-	idx := newEventIndex(ros.Events)
+// buildModel runs Algorithm 1 for every node named by a P1 event in the
+// time-sorted ROS events, with the per-PID execution-time measurement
+// supplied by etFor. Shared by the batch (ExtractModel) and streaming
+// (ModelBuilder) pipelines, so the two can only differ in how exec times
+// are measured — a difference the streaming equivalence tests pin to
+// zero.
+func buildModel(ros []trace.Event, etFor func(pid uint32) etFunc) *Model {
+	idx := newEventIndex(ros)
 
 	m := &Model{NodeOf: make(map[uint32]string)}
-	for _, e := range ros.Events {
+	for _, e := range ros {
 		if e.Kind == trace.KindCreateNode {
 			m.NodeOf[e.PID] = e.Node
 		}
@@ -332,10 +344,8 @@ func ExtractModel(tr *trace.Trace) *Model {
 	}
 	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
 
-	sched := sorted.SchedEvents()
 	for _, pid := range pids {
-		schedPID := sched.FilterPID(pid).Events
-		cbs, diags := ExtractCallbacks(pid, idx, schedPID)
+		cbs, diags := extractCallbacks(pid, idx, etFor(pid))
 		for _, cb := range cbs {
 			cb.Node = m.NodeOf[pid]
 		}
@@ -343,4 +353,25 @@ func ExtractModel(tr *trace.Trace) *Model {
 		m.Diags = append(m.Diags, diags...)
 	}
 	return m
+}
+
+// ExtractModel runs Algorithm 1 for every ROS2 node found in the trace
+// (via P1 events; PIDs with ROS events but no P1 record — e.g. bare DDS
+// replayers — are not modeled, matching the paper's deployment where only
+// initialized ROS2 nodes are synthesized). This is the batch path: it
+// materializes and sorts the whole trace, then measures exec times with
+// ExecTime over per-PID sched_switch slices. ModelBuilder is the
+// streaming equivalent.
+func ExtractModel(tr *trace.Trace) *Model {
+	sorted := tr.Clone()
+	sorted.SortByTime()
+
+	ros := sorted.ROSEvents()
+	sched := sorted.SchedEvents()
+	return buildModel(ros.Events, func(pid uint32) etFunc {
+		schedPID := sched.FilterPID(pid).Events
+		return func(start, end sim.Time, startSeq, endSeq uint64) sim.Duration {
+			return ExecTime(start, end, startSeq, endSeq, pid, schedPID)
+		}
+	})
 }

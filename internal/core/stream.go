@@ -1,0 +1,149 @@
+package core
+
+import (
+	"github.com/tracesynth/rostracer/internal/sim"
+	"github.com/tracesynth/rostracer/internal/trace"
+)
+
+// ModelBuilder is the streaming counterpart of ExtractModel: an
+// incremental Algorithm 1 that consumes one event at a time (it is a
+// trace.Sink) and assembles the same Model the batch extraction builds
+// from a materialized trace.
+//
+// Events must arrive in (Time, Seq) order — exactly what the streaming
+// drain (tracers.Bundle.StreamTo) delivers, including across successive
+// periodic drains, since virtual time and the emission counter only
+// grow.
+//
+// The memory shape is what makes streaming worthwhile: ROS middleware
+// events are buffered (Algorithm 1's caller/client searches cross node
+// boundaries in both directions, so the model needs them all), but
+// scheduler events — the bulk of any kernel-traced run — are folded into
+// per-PID execution-time accumulators as they pass and never retained.
+// Algorithm 2 runs online: a callback-start probe opens a window
+// (running, since the probe fires on-CPU), switches charge or suspend
+// the window as they stream by, and the callback-end probe closes it.
+// The (Time, Seq) bracketing ExecTime applies to window boundaries falls
+// out of stream order for free: a switch sharing the start timestamp but
+// emitted earlier arrives before the start probe and is ignored; one
+// sharing the end timestamp but emitted later arrives after the end
+// probe, when the window is already closed.
+type ModelBuilder struct {
+	ros   []trace.Event
+	open  map[uint32]*etWindow
+	et    map[etKey]sim.Duration
+	sched uint64
+}
+
+// etKey identifies one callback-instance window: the executor PID plus
+// the emission sequence number of its start probe (globally unique).
+type etKey struct {
+	pid      uint32
+	startSeq uint64
+}
+
+// etWindow accumulates Algorithm 2 state for one open window.
+type etWindow struct {
+	startSeq uint64
+	last     sim.Time
+	et       sim.Duration
+	running  bool
+}
+
+// NewModelBuilder returns an empty builder.
+func NewModelBuilder() *ModelBuilder {
+	return &ModelBuilder{
+		open: make(map[uint32]*etWindow),
+		et:   make(map[etKey]sim.Duration),
+	}
+}
+
+// Observe implements trace.Sink.
+func (b *ModelBuilder) Observe(e trace.Event) {
+	switch e.Kind {
+	case trace.KindSchedSwitch:
+		b.sched++
+		b.observeSwitch(e)
+	case trace.KindSchedWakeup:
+		b.sched++ // wakeups carry no Algorithm 2 information
+	default:
+		b.ros = append(b.ros, e)
+		switch {
+		case e.Kind.IsCBStart():
+			// The start probe fires on-CPU, so the window opens running.
+			b.open[e.PID] = &etWindow{startSeq: e.Seq, last: e.Time, running: true}
+		case e.Kind.IsCBEnd():
+			if w, ok := b.open[e.PID]; ok {
+				et := w.et
+				if w.running {
+					et += e.Time.Sub(w.last)
+				}
+				b.et[etKey{e.PID, w.startSeq}] = et
+				delete(b.open, e.PID)
+			}
+		}
+	}
+}
+
+// observeSwitch folds one sched_switch into the open windows, mirroring
+// ExecTime's per-PID branch structure: a switch whose previous thread
+// owns a running window suspends it; one whose next thread owns a
+// suspended window resumes it — and when one thread is both prev and
+// next, the suspend branch wins, as in the batch loop's else-if.
+func (b *ModelBuilder) observeSwitch(e trace.Event) {
+	if e.PrevPID == e.NextPID {
+		if w, ok := b.open[e.PrevPID]; ok {
+			if w.running {
+				w.et += e.Time.Sub(w.last)
+				w.running = false
+			} else {
+				w.last = e.Time
+				w.running = true
+			}
+		}
+		return
+	}
+	if w, ok := b.open[e.PrevPID]; ok && w.running {
+		w.et += e.Time.Sub(w.last)
+		w.running = false
+	}
+	if w, ok := b.open[e.NextPID]; ok && !w.running {
+		w.last = e.Time
+		w.running = true
+	}
+}
+
+// BufferedROSEvents reports how many ROS events the builder holds — the
+// streaming pipeline's entire retained state besides O(open windows).
+func (b *ModelBuilder) BufferedROSEvents() int { return len(b.ros) }
+
+// SchedEventsFolded reports how many scheduler events streamed through
+// without being retained.
+func (b *ModelBuilder) SchedEventsFolded() uint64 { return b.sched }
+
+// Finish runs the rest of Algorithm 1 over the buffered ROS events and
+// returns the model. It does not consume the builder: more events may be
+// observed and Finish called again, so a long-running tracer can
+// re-synthesize periodically while the session continues.
+func (b *ModelBuilder) Finish() *Model {
+	return buildModel(b.ros, func(pid uint32) etFunc {
+		return func(start, end sim.Time, startSeq, endSeq uint64) sim.Duration {
+			return b.et[etKey{pid, startSeq}]
+		}
+	})
+}
+
+// SynthesizeSink couples a ModelBuilder to DAG synthesis: stream a
+// session (or several segments) into it, then call DAG. It is the
+// streaming form of Synthesize.
+type SynthesizeSink struct {
+	ModelBuilder
+}
+
+// DAG builds the precedence DAG from everything observed so far.
+func (s *SynthesizeSink) DAG() *DAG { return BuildDAG(s.Finish()) }
+
+// NewSynthesizeSink returns an empty synthesis sink.
+func NewSynthesizeSink() *SynthesizeSink {
+	return &SynthesizeSink{ModelBuilder: *NewModelBuilder()}
+}

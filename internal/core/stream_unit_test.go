@@ -1,0 +1,160 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/tracesynth/rostracer/internal/sim"
+	"github.com/tracesynth/rostracer/internal/trace"
+)
+
+// streamModel feeds a (Time, Seq)-sorted trace through the incremental
+// builder, the way the streaming drain would.
+func streamModel(tr *trace.Trace) *Model {
+	mb := NewModelBuilder()
+	for _, e := range tr.Events {
+		mb.Observe(e)
+	}
+	return mb.Finish()
+}
+
+// requireSameModel fails unless the two models are deeply identical.
+func requireSameModel(t *testing.T, got, want *Model) {
+	t.Helper()
+	if !reflect.DeepEqual(got.NodeOf, want.NodeOf) {
+		t.Fatalf("NodeOf differs: %v vs %v", got.NodeOf, want.NodeOf)
+	}
+	if len(got.Callbacks) != len(want.Callbacks) {
+		t.Fatalf("callback count %d vs %d", len(got.Callbacks), len(want.Callbacks))
+	}
+	for i := range want.Callbacks {
+		if !reflect.DeepEqual(got.Callbacks[i], want.Callbacks[i]) {
+			t.Fatalf("callback %d differs:\n stream: %+v\n batch:  %+v",
+				i, got.Callbacks[i], want.Callbacks[i])
+		}
+	}
+	if !reflect.DeepEqual(got.Diags, want.Diags) {
+		t.Fatalf("diagnostics differ: %v vs %v", got.Diags, want.Diags)
+	}
+}
+
+// TestModelBuilderMatchesExtractModelSimple pins the streaming builder
+// to the batch extraction on the hand-written producer/consumer trace.
+func TestModelBuilderMatchesExtractModelSimple(t *testing.T) {
+	tr := buildTrace()
+	requireSameModel(t, streamModel(tr), ExtractModel(tr))
+}
+
+// TestModelBuilderBoundarySwitches exercises the (Time, Seq) window
+// bracketing Algorithm 2 needs when switches share a timestamp with the
+// start or end probe: emitted-before-start and emitted-after-end
+// switches must not count, emitted-inside ones must.
+func TestModelBuilderBoundarySwitches(t *testing.T) {
+	tr := &trace.Trace{}
+	seq := uint64(0)
+	add := func(e trace.Event) {
+		e.Seq = seq
+		seq++
+		tr.Append(e)
+	}
+	add(trace.Event{Time: 0, PID: 7, Kind: trace.KindCreateNode, Node: "n"})
+	// Switch out at t=100 emitted BEFORE the start probe at t=100: the
+	// callback had not started; must be ignored.
+	add(trace.Event{Time: 100, Kind: trace.KindSchedSwitch, PrevPID: 7, NextPID: 1})
+	add(trace.Event{Time: 100, PID: 7, Kind: trace.KindTimerCBStart})
+	add(trace.Event{Time: 100, PID: 7, Kind: trace.KindTimerCall, CBID: 0xC})
+	// Preemption inside the window, sharing the start timestamp but
+	// emitted after the start probe: counts.
+	add(trace.Event{Time: 100, Kind: trace.KindSchedSwitch, PrevPID: 7, NextPID: 1})
+	add(trace.Event{Time: 160, Kind: trace.KindSchedSwitch, PrevPID: 1, NextPID: 7})
+	// Same thread as prev and next (yield to self): suspend wins.
+	add(trace.Event{Time: 180, Kind: trace.KindSchedSwitch, PrevPID: 7, NextPID: 7})
+	add(trace.Event{Time: 190, Kind: trace.KindSchedSwitch, PrevPID: 7, NextPID: 7})
+	add(trace.Event{Time: 200, PID: 7, Kind: trace.KindTimerCBEnd})
+	// Switch at the end timestamp emitted after the end probe: ignored.
+	add(trace.Event{Time: 200, Kind: trace.KindSchedSwitch, PrevPID: 7, NextPID: 1})
+
+	got, want := streamModel(tr), ExtractModel(tr)
+	requireSameModel(t, got, want)
+	if len(want.Callbacks) != 1 || len(want.Callbacks[0].Instances) != 1 {
+		t.Fatalf("unexpected extraction shape: %+v", want.Callbacks)
+	}
+	// Window [100,200]: on-CPU [100,100] + [160,180] + [190,200] = 30.
+	if et := want.Callbacks[0].Instances[0].ET; et != 30 {
+		t.Fatalf("batch ET = %v, want 30", et)
+	}
+}
+
+// TestModelBuilderRandomInterleavings is the extraction-level property
+// test: random sorted interleavings of callback windows and switches
+// over several PIDs produce byte-identical models through both paths.
+func TestModelBuilderRandomInterleavings(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		r := sim.NewRNG(seed)
+		tr := &trace.Trace{}
+		seq := uint64(0)
+		add := func(e trace.Event) {
+			e.Seq = seq
+			seq++
+			tr.Append(e)
+		}
+		pids := []uint32{7, 8, 9}
+		for i, pid := range pids {
+			add(trace.Event{Time: 0, PID: pid, Kind: trace.KindCreateNode,
+				Node: string(rune('a' + i))})
+		}
+		now := sim.Time(10)
+		inWindow := map[uint32]bool{}
+		for step := 0; step < 400; step++ {
+			if r.Intn(3) > 0 {
+				now += sim.Time(r.Intn(40))
+			}
+			pid := pids[r.Intn(len(pids))]
+			switch r.Intn(4) {
+			case 0: // toggle a window
+				if inWindow[pid] {
+					add(trace.Event{Time: now, PID: pid, Kind: trace.KindTimerCBEnd})
+					inWindow[pid] = false
+				} else {
+					add(trace.Event{Time: now, PID: pid, Kind: trace.KindTimerCBStart})
+					add(trace.Event{Time: now, PID: pid, Kind: trace.KindTimerCall,
+						CBID: uint64(pid)})
+					inWindow[pid] = true
+				}
+			case 1: // switch away to an uninvolved thread
+				add(trace.Event{Time: now, Kind: trace.KindSchedSwitch,
+					PrevPID: pid, NextPID: 1})
+			case 2: // switch back from an uninvolved thread
+				add(trace.Event{Time: now, Kind: trace.KindSchedSwitch,
+					PrevPID: 1, NextPID: pid})
+			case 3: // direct handoff between two traced threads
+				other := pids[r.Intn(len(pids))]
+				add(trace.Event{Time: now, Kind: trace.KindSchedSwitch,
+					PrevPID: pid, NextPID: other})
+			}
+		}
+		for _, pid := range pids {
+			if inWindow[pid] {
+				add(trace.Event{Time: now + 5, PID: pid, Kind: trace.KindTimerCBEnd})
+			}
+		}
+		requireSameModel(t, streamModel(tr), ExtractModel(tr))
+	}
+}
+
+// TestModelBuilderFoldsSchedEvents checks the memory contract: scheduler
+// events stream through without being buffered.
+func TestModelBuilderFoldsSchedEvents(t *testing.T) {
+	mb := NewModelBuilder()
+	mb.Observe(trace.Event{Time: 1, Seq: 0, PID: 7, Kind: trace.KindCreateNode, Node: "n"})
+	for i := 0; i < 1000; i++ {
+		mb.Observe(trace.Event{Time: sim.Time(2 + i), Seq: uint64(1 + i),
+			Kind: trace.KindSchedSwitch, PrevPID: 7, NextPID: 1})
+	}
+	if mb.BufferedROSEvents() != 1 {
+		t.Fatalf("builder buffered %d ROS events, want 1", mb.BufferedROSEvents())
+	}
+	if mb.SchedEventsFolded() != 1000 {
+		t.Fatalf("folded %d sched events, want 1000", mb.SchedEventsFolded())
+	}
+}

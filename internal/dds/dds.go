@@ -86,7 +86,21 @@ type Domain struct {
 	// lazily on the first write.
 	siteWrite *ebpf.ProbeSite
 
-	writes uint64
+	// batches coalesces deliveries due at the same tick for the same
+	// reader: the first sample scheduled for (reader, due) creates one
+	// engine event, later samples ride it. The engine then dispatches
+	// one event per reader per tick instead of one per sample — the
+	// batching a real DDS reader cache gives the wait set.
+	batches map[deliveryKey][]*Sample
+
+	writes     uint64
+	deliveries uint64 // engine delivery events actually scheduled
+}
+
+// deliveryKey identifies one per-reader same-tick delivery batch.
+type deliveryKey struct {
+	reader *Reader
+	due    sim.Time
 }
 
 // NewDomain creates a domain on eng, firing probes into rt, with transport
@@ -97,12 +111,18 @@ func NewDomain(eng *sim.Engine, rt *ebpf.Runtime, rng *sim.RNG) *Domain {
 		rt:      rt,
 		rng:     rng,
 		readers: make(map[string][]*Reader),
+		batches: make(map[deliveryKey][]*Sample),
 		Latency: sim.Uniform{Min: 20 * sim.Microsecond, Max: 80 * sim.Microsecond},
 	}
 }
 
 // Writes returns the total number of samples written.
 func (d *Domain) Writes() uint64 { return d.writes }
+
+// DeliveryEvents returns how many engine events delivery scheduling has
+// consumed; with batching it is at most one per reader per distinct due
+// tick, never one per sample.
+func (d *Domain) DeliveryEvents() uint64 { return d.deliveries }
 
 // CreateWriter creates a writer for pid on topic, materializing its
 // descriptor in space.
@@ -174,18 +194,39 @@ func (w *Writer) Write(payload interface{}, clientID, rpcSeq uint64) *Sample {
 	d.siteWrite.FireEntry(w.pid, cpu, uint64(w.structAddr), 0, uint64(s.SrcTS))
 
 	for _, r := range d.readers[w.topic] {
-		r := r
 		delay := d.Latency.Sample(d.rng)
 		if delay < 0 {
 			delay = 0
 		}
-		d.eng.After(delay, func() {
-			if r.OnData != nil {
-				r.OnData(s)
-			}
-		})
+		d.deliver(r, now.Add(delay), s)
 	}
 	return s
+}
+
+// deliver enqueues s for r at the due tick. Same-tick deliveries to one
+// reader coalesce into a single engine event that hands the reader its
+// batch in write order, so N simultaneous samples cost one scheduler
+// dispatch instead of N. The batch entry is removed before the callbacks
+// run: a reader that writes back with zero latency starts a fresh batch
+// later in the same tick rather than appending to the one in flight.
+func (d *Domain) deliver(r *Reader, due sim.Time, s *Sample) {
+	key := deliveryKey{reader: r, due: due}
+	if q, ok := d.batches[key]; ok {
+		d.batches[key] = append(q, s)
+		return
+	}
+	d.batches[key] = []*Sample{s}
+	d.deliveries++
+	d.eng.At(due, func() {
+		q := d.batches[key]
+		delete(d.batches, key)
+		if r.OnData == nil {
+			return
+		}
+		for _, smp := range q {
+			r.OnData(smp)
+		}
+	})
 }
 
 // ServiceRequestTopic returns the DDS topic carrying requests of a

@@ -227,3 +227,103 @@ func TestEmptyTopicPanics(t *testing.T) {
 	}()
 	d.CreateWriter(1, umem.NewSpace(1), "")
 }
+
+// TestBatchedDeliveryCoalescesSameTick pins the batched delivery
+// contract: samples due at one reader in the same tick ride a single
+// engine event, arrive in write order, and the engine dispatches one
+// delivery event per batch rather than one per sample.
+func TestBatchedDeliveryCoalescesSameTick(t *testing.T) {
+	eng, d := newTestDomain()
+	d.Latency = sim.Constant{Value: 50 * sim.Microsecond}
+	space := umem.NewSpace(1)
+	wA := d.CreateWriter(1, space, "/x")
+	wB := d.CreateWriter(2, space, "/x")
+
+	var order []interface{}
+	d.CreateReader(10, "/x", func(s *Sample) { order = append(order, s.Payload) })
+
+	// Three same-tick writes: constant latency makes all three due at
+	// now+50µs for the one reader.
+	wA.Write("a1", 0, 0)
+	wB.Write("b1", 0, 0)
+	wA.Write("a2", 0, 0)
+	execBefore := eng.Executed()
+	eng.Run(sim.MaxTime)
+
+	if got := eng.Executed() - execBefore; got != 1 {
+		t.Fatalf("engine dispatched %d delivery events, want 1 (batched)", got)
+	}
+	if d.DeliveryEvents() != 1 {
+		t.Fatalf("DeliveryEvents = %d, want 1", d.DeliveryEvents())
+	}
+	want := []interface{}{"a1", "b1", "a2"}
+	if len(order) != len(want) {
+		t.Fatalf("delivered %d samples, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("delivery order %v, want %v (write order pinned)", order, want)
+		}
+	}
+}
+
+// TestBatchedDeliveryKeepsTicksApart checks distinct due ticks (and
+// distinct readers) do not coalesce, and each reader's batch preserves
+// write order.
+func TestBatchedDeliveryKeepsTicksApart(t *testing.T) {
+	eng, d := newTestDomain()
+	d.Latency = sim.Constant{Value: sim.Millisecond}
+	space := umem.NewSpace(1)
+	w := d.CreateWriter(1, space, "/x")
+
+	var got []sim.Time
+	d.CreateReader(10, "/x", func(*Sample) { got = append(got, eng.Now()) })
+	d.CreateReader(11, "/x", func(*Sample) {})
+
+	w.Write(1, 0, 0) // due at 1ms
+	eng.Run(sim.Time(200 * sim.Microsecond))
+	w.Write(2, 0, 0) // due at 1.2ms
+	eng.Run(sim.MaxTime)
+
+	// 2 writes × 2 readers at 2 distinct ticks = 4 delivery events.
+	if d.DeliveryEvents() != 4 {
+		t.Fatalf("DeliveryEvents = %d, want 4", d.DeliveryEvents())
+	}
+	wantTimes := []sim.Time{sim.Time(sim.Millisecond), sim.Time(1200 * sim.Microsecond)}
+	if len(got) != 2 || got[0] != wantTimes[0] || got[1] != wantTimes[1] {
+		t.Fatalf("delivery times %v, want %v", got, wantTimes)
+	}
+}
+
+// TestBatchedDeliveryDeterministic pins determinism: two identically
+// seeded domains deliver identical sample sequences.
+func TestBatchedDeliveryDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		eng := sim.NewEngine()
+		rt := ebpf.NewRuntime(func() int64 { return int64(eng.Now()) }, nil)
+		d := NewDomain(eng, rt, sim.NewRNG(99))
+		space := umem.NewSpace(1)
+		w1 := d.CreateWriter(1, space, "/x")
+		w2 := d.CreateWriter(2, space, "/x")
+		var seen []uint64
+		d.CreateReader(10, "/x", func(s *Sample) { seen = append(seen, s.RPCSeq) })
+		for i := 0; i < 50; i++ {
+			i := i
+			eng.At(sim.Time(i*10_000), func() {
+				w1.Write(nil, 0, uint64(2*i))
+				w2.Write(nil, 0, uint64(2*i+1))
+			})
+		}
+		eng.Run(sim.MaxTime)
+		return seen
+	}
+	a, b := run(), run()
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("delivered %d / %d samples, want 100 each", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery order diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -392,6 +392,49 @@ func (p *PerfBuffer) DrainCPU(cpu int) []PerfRecord {
 	return p.rings[cpu].drain()
 }
 
+// RecordCursor iterates one drained ring segment incrementally. The
+// segment was swapped out of the ring when the cursor was created, so
+// iteration never races with new emissions and its length bounds what a
+// streaming consumer can ever have in flight from this ring.
+type RecordCursor struct {
+	recs []PerfRecord
+	i    int
+}
+
+// Next returns the next record of the segment; ok is false at the end.
+func (c *RecordCursor) Next() (rec PerfRecord, ok bool) {
+	if c.i >= len(c.recs) {
+		return PerfRecord{}, false
+	}
+	rec = c.recs[c.i]
+	c.i++
+	return rec, true
+}
+
+// Len reports how many records remain.
+func (c *RecordCursor) Len() int { return len(c.recs) - c.i }
+
+// DrainCursor drains one CPU's ring — the records emitted since the
+// previous drain, its current segment — and returns a cursor over them.
+// The ring's lost/byte counters are untouched: they accumulate for the
+// lifetime of the buffer regardless of how records are consumed.
+func (p *PerfBuffer) DrainCursor(cpu int) *RecordCursor {
+	return &RecordCursor{recs: p.DrainCPU(cpu)}
+}
+
+// DrainInto drains one CPU's ring, invoking fn on every record of the
+// segment in emission order. A non-nil error from fn stops the iteration
+// and is returned; records not yet visited are dropped, exactly as a
+// real perf poller loses its batch when the consumer fails mid-page.
+func (p *PerfBuffer) DrainInto(cpu int, fn func(PerfRecord) error) error {
+	for _, rec := range p.DrainCPU(cpu) {
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // perfRecordLess orders records by (Time, Seq), the same key the trace
 // merger uses.
 func perfRecordLess(a, b *PerfRecord) bool {

@@ -1,6 +1,7 @@
 package ebpf
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 )
@@ -154,5 +155,90 @@ func TestPerfBufferSharedSeqMergesAcrossBuffers(t *testing.T) {
 		if !ok {
 			t.Fatalf("emission %d lost", i)
 		}
+	}
+}
+
+// TestPerfBufferDrainCursor checks cursor-based segment iteration: a
+// cursor captures exactly the ring's current segment, iterates it in
+// emission order, and leaves cumulative lost/byte accounting intact.
+func TestPerfBufferDrainCursor(t *testing.T) {
+	pb := NewPerfBuffer("cursor", 3)
+	pb.Emit(1, 10, []byte{1})
+	pb.Emit(1, 20, []byte{2})
+	for i := 0; i < 4; i++ {
+		pb.Emit(1, 30, []byte{9}) // one lands, three lost (capacity 3)
+	}
+
+	cur := pb.DrainCursor(1)
+	if cur.Len() != 3 {
+		t.Fatalf("segment has %d records, want 3", cur.Len())
+	}
+	var times []int64
+	for {
+		rec, ok := cur.Next()
+		if !ok {
+			break
+		}
+		times = append(times, rec.Time)
+	}
+	if !reflect.DeepEqual(times, []int64{10, 20, 30}) {
+		t.Fatalf("cursor order %v", times)
+	}
+	if cur.Len() != 0 {
+		t.Fatalf("exhausted cursor reports Len %d", cur.Len())
+	}
+	// The drain defines a new segment; accounting is cumulative.
+	if pb.PendingOnCPU(1) != 0 || pb.LostOnCPU(1) != 3 || pb.BytesOnCPU(1) != 3 {
+		t.Fatalf("post-cursor counters: pending %d lost %d bytes %d",
+			pb.PendingOnCPU(1), pb.LostOnCPU(1), pb.BytesOnCPU(1))
+	}
+	pb.Emit(1, 40, []byte{7})
+	next := pb.DrainCursor(1)
+	if next.Len() != 1 {
+		t.Fatalf("next segment has %d records, want 1", next.Len())
+	}
+	// Never-seen CPUs yield empty cursors.
+	if pb.DrainCursor(17).Len() != 0 {
+		t.Fatal("cursor over unseen CPU not empty")
+	}
+}
+
+// TestPerfBufferDrainInto checks the push-style segment drain, including
+// mid-segment abort semantics.
+func TestPerfBufferDrainInto(t *testing.T) {
+	pb := NewPerfBuffer("into", 0)
+	for i := 0; i < 5; i++ {
+		pb.Emit(2, int64(i), []byte{byte(i)})
+	}
+	var seen []int64
+	if err := pb.DrainInto(2, func(rec PerfRecord) error {
+		seen = append(seen, rec.Time)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seen, []int64{0, 1, 2, 3, 4}) {
+		t.Fatalf("DrainInto order %v", seen)
+	}
+
+	for i := 0; i < 5; i++ {
+		pb.Emit(2, int64(10+i), []byte{byte(i)})
+	}
+	errStop := fmt.Errorf("stop")
+	n := 0
+	if err := pb.DrainInto(2, func(PerfRecord) error {
+		n++
+		if n == 2 {
+			return errStop
+		}
+		return nil
+	}); err != errStop {
+		t.Fatalf("DrainInto error = %v, want errStop", err)
+	}
+	// The segment was swapped out before iteration: an aborted consumer
+	// drops the remainder (as a failed real poller would), it does not
+	// requeue it.
+	if pb.PendingOnCPU(2) != 0 {
+		t.Fatalf("aborted DrainInto left %d records pending", pb.PendingOnCPU(2))
 	}
 }

@@ -19,28 +19,27 @@ import (
 // small pipeline.
 func TableIExperiment(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
-	s, err := RunSession(cfg.Seed, 2, 2*sim.Second, true, func(w *rclcpp.World) {
+	// An inventory only needs per-kind tallies: stream the session into a
+	// counting sink, never materializing the trace.
+	var kc trace.KindCounter
+	_, err := RunSessionInto(cfg.Seed, 2, 2*sim.Second, true, func(w *rclcpp.World) {
 		apps.BuildSYN(w, apps.SYNConfig{})
-	})
+	}, &kc)
 	if err != nil {
 		return Result{}, err
-	}
-	counts := map[trace.Kind]int{}
-	for _, e := range s.Trace.Events {
-		counts[e.Kind]++
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-4s %-20s %-28s %8s  %s\n", "No.", "ROS2 lib", "Function", "events", "purpose")
 	ok := true
 	for _, p := range tracers.TableI {
-		n := counts[p.EventKind]
+		n := kc.Count(p.EventKind)
 		if n == 0 {
 			ok = false
 		}
 		fmt.Fprintf(&b, "%-4s %-20s %-28s %8d  %s\n", p.No, p.Lib, p.Func, n, p.Purpose)
 	}
 	fmt.Fprintf(&b, "%-4s %-20s %-28s %8d  %s\n", "-", "kernel", "sched_switch",
-		counts[trace.KindSchedSwitch], "scheduler events (PID-filtered)")
+		kc.Count(trace.KindSchedSwitch), "scheduler events (PID-filtered)")
 	return Result{ID: "tableI", Title: "Inserted probes in ROS2 (Table I)", Text: b.String(), OK: ok}, nil
 }
 
@@ -49,13 +48,14 @@ func TableIExperiment(cfg Config) (Result, error) {
 func Fig3aExperiment(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	dags, err := runSeries(cfg.Workers, cfg.Runs, func(run int) (*core.DAG, error) {
-		s, err := RunSession(cfg.Seed+uint64(run), cfg.CPUs, cfg.Duration, true, func(w *rclcpp.World) {
-			apps.BuildSYN(w, apps.SYNConfig{})
-		})
-		if err != nil {
+		sink := core.NewSynthesizeSink()
+		if _, err := RunSessionInto(cfg.Seed+uint64(run), cfg.CPUs, cfg.Duration, true,
+			func(w *rclcpp.World) {
+				apps.BuildSYN(w, apps.SYNConfig{})
+			}, sink); err != nil {
 			return nil, err
 		}
-		return core.Synthesize(s.Trace), nil
+		return sink.DAG(), nil
 	})
 	if err != nil {
 		return Result{}, err
@@ -84,13 +84,14 @@ func Fig3aExperiment(cfg Config) (Result, error) {
 func Fig3bExperiment(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	dags, err := runSeries(cfg.Workers, cfg.Runs, func(run int) (*core.DAG, error) {
-		s, err := RunSession(cfg.Seed+uint64(run), cfg.CPUs, cfg.Duration, true, func(w *rclcpp.World) {
-			apps.BuildAVP(w, apps.AVPConfig{})
-		})
-		if err != nil {
+		sink := core.NewSynthesizeSink()
+		if _, err := RunSessionInto(cfg.Seed+uint64(run), cfg.CPUs, cfg.Duration, true,
+			func(w *rclcpp.World) {
+				apps.BuildAVP(w, apps.AVPConfig{})
+			}, sink); err != nil {
 			return nil, err
 		}
-		return core.Synthesize(s.Trace), nil
+		return sink.DAG(), nil
 	})
 	if err != nil {
 		return Result{}, err
@@ -155,15 +156,15 @@ func runAVPSeries(cfg Config) ([]*core.DAG, []*Session, error) {
 		sess *Session
 	}
 	runs, err := runSeries(cfg.Workers, cfg.Runs, func(run int) (avpRun, error) {
-		s, err := RunSession(cfg.Seed+uint64(run), cfg.CPUs, cfg.Duration, true,
-			BuildBoth(loadScaleForRun(run)))
+		sink := core.NewSynthesizeSink()
+		s, err := RunSessionInto(cfg.Seed+uint64(run), cfg.CPUs, cfg.Duration, true,
+			BuildBoth(loadScaleForRun(run)), sink)
 		if err != nil {
 			return avpRun{}, err
 		}
-		d := core.Synthesize(s.Trace)
+		d := sink.DAG()
 		s.World = nil // release the heavy simulation state
 		s.Bundle = nil
-		s.Trace = nil
 		return avpRun{dag: d, sess: s}, nil
 	})
 	if err != nil {
@@ -331,9 +332,12 @@ func OverheadsExperiment(cfg Config) (Result, error) {
 		SpawnChatter(w, 24, 2*sim.Millisecond)
 	}
 	// The filtered and unfiltered sessions are independent worlds with the
-	// same seed; run them as a two-run series so they fan out too.
+	// same seed; run them as a two-run series so they fan out too. Only
+	// volume and cost counters matter here, so the traces stream into
+	// counting sinks and are never held.
 	sessions, err := runSeries(cfg.Workers, 2, func(run int) (*Session, error) {
-		return RunSession(cfg.Seed, cfg.CPUs, duration, run == 0, buildBusyHost)
+		var kc trace.KindCounter
+		return RunSessionInto(cfg.Seed, cfg.CPUs, duration, run == 0, buildBusyHost, &kc)
 	})
 	if err != nil {
 		return Result{}, err
@@ -409,12 +413,12 @@ func runRedirectBaseline(cfg Config, duration sim.Duration) (ebpfPerEvent, redir
 	}
 	BuildBoth(1)(we)
 	we.Run(duration)
-	tre, err := be.Drain()
-	if err != nil {
+	var kc trace.KindCounter
+	if err := be.StreamTo(&kc); err != nil {
 		return 0, 0, err
 	}
-	if tre.Len() > 0 {
-		ebpfPerEvent = we.Runtime().CostNs() / float64(tre.Len())
+	if kc.Total() > 0 {
+		ebpfPerEvent = we.Runtime().CostNs() / float64(kc.Total())
 	}
 
 	// LD_PRELOAD redirection.
@@ -438,8 +442,11 @@ func Fig2Experiment(cfg Config) (Result, error) {
 	ok := true
 
 	// (a) Segmented collection: one long run drained in 4 segments equals
-	// one drain at the end.
-	segmented, err := func() (*trace.Trace, error) {
+	// one drain at the end. The segmented side runs the production
+	// streaming shape — every periodic drain feeds the same incremental
+	// synthesis sink, and no segment (let alone the merged trace) is ever
+	// materialized.
+	dSeg, err := func() (*core.DAG, error) {
 		w := rclcpp.NewWorld(rclcpp.Config{NumCPUs: cfg.CPUs, Seed: cfg.Seed})
 		bd, err := tracers.NewBundle(w.Runtime())
 		if err != nil {
@@ -457,16 +464,14 @@ func Fig2Experiment(cfg Config) (Result, error) {
 		}
 		apps.BuildAVP(w, apps.AVPConfig{})
 		bd.StopInit()
-		var segs []*trace.Trace
+		sink := core.NewSynthesizeSink()
 		for i := 0; i < 4; i++ {
 			w.Run(cfg.Duration / 4)
-			seg, err := bd.Drain()
-			if err != nil {
+			if err := bd.StreamTo(sink); err != nil {
 				return nil, err
 			}
-			segs = append(segs, seg)
 		}
-		return trace.Merge(segs...), nil
+		return sink.DAG(), nil
 	}()
 	if err != nil {
 		return Result{}, err
@@ -477,7 +482,6 @@ func Fig2Experiment(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	dSeg := core.Synthesize(segmented)
 	dWhole := core.Synthesize(whole.Trace)
 	segOK := len(dSeg.Vertices) == len(dWhole.Vertices) && len(dSeg.Edges()) == len(dWhole.Edges())
 	fmt.Fprintf(&b, "segmented sessions: %d vertices / %d edges vs whole-run %d / %d -> %v\n",
@@ -488,13 +492,14 @@ func Fig2Experiment(cfg Config) (Result, error) {
 	// strategies coincide per run; across runs the DAG-merge path is the
 	// paper's choice). Statistics must be identical either way.
 	perRun, err := runSeries(cfg.Workers, min(cfg.Runs, 5), func(run int) (*core.DAG, error) {
-		s, err := RunSession(cfg.Seed+uint64(run), cfg.CPUs, cfg.Duration/2, true, func(w *rclcpp.World) {
-			apps.BuildAVP(w, apps.AVPConfig{})
-		})
-		if err != nil {
+		sink := core.NewSynthesizeSink()
+		if _, err := RunSessionInto(cfg.Seed+uint64(run), cfg.CPUs, cfg.Duration/2, true,
+			func(w *rclcpp.World) {
+				apps.BuildAVP(w, apps.AVPConfig{})
+			}, sink); err != nil {
 			return nil, err
 		}
-		return core.Synthesize(s.Trace), nil
+		return sink.DAG(), nil
 	})
 	if err != nil {
 		return Result{}, err
@@ -546,13 +551,14 @@ func buildAVPDegraded(w *rclcpp.World) {
 // single-vertex service model vs the paper's per-caller split.
 func AblationServiceExperiment(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
-	s, err := RunSession(cfg.Seed, cfg.CPUs, cfg.Duration, true, func(w *rclcpp.World) {
+	mb := core.NewModelBuilder()
+	_, err := RunSessionInto(cfg.Seed, cfg.CPUs, cfg.Duration, true, func(w *rclcpp.World) {
 		apps.BuildSYN(w, apps.SYNConfig{})
-	})
+	}, mb)
 	if err != nil {
 		return Result{}, err
 	}
-	m := core.ExtractModel(s.Trace)
+	m := mb.Finish()
 	proper := core.BuildDAG(m)
 	naive := core.BuildDAGNaive(m)
 	nSpur, spurious := analysis.SpuriousChains(proper, naive)
@@ -580,12 +586,12 @@ func AblationSyncExperiment(cfg Config) (Result, error) {
 	// Merge several runs so both sync callbacks have completed sets at
 	// least once (arrival order varies with the load).
 	models, err := runSeries(cfg.Workers, min(cfg.Runs, 10), func(run int) (*core.Model, error) {
-		s, err := RunSession(cfg.Seed+uint64(run), cfg.CPUs, cfg.Duration, true,
-			BuildBoth(loadScaleForRun(run)))
-		if err != nil {
+		mb := core.NewModelBuilder()
+		if _, err := RunSessionInto(cfg.Seed+uint64(run), cfg.CPUs, cfg.Duration, true,
+			BuildBoth(loadScaleForRun(run)), mb); err != nil {
 			return nil, err
 		}
-		return core.ExtractModel(s.Trace), nil
+		return mb.Finish(), nil
 	})
 	if err != nil {
 		return Result{}, err
@@ -671,15 +677,16 @@ func ValidationExperiment(cfg Config) (Result, error) {
 	}
 	checks, err := runSeries(cfg.Workers, min(cfg.Runs, 10), func(run int) (runCheck, error) {
 		scale := loadScaleForRun(run)
-		s, err := RunSession(cfg.Seed+uint64(run), 1 /* one CPU forces preemption */, cfg.Duration, true,
+		mb := core.NewModelBuilder()
+		_, err := RunSessionInto(cfg.Seed+uint64(run), 1 /* one CPU forces preemption */, cfg.Duration, true,
 			func(w *rclcpp.World) {
 				apps.BuildSYN(w, apps.SYNConfig{LoadScale: scale, Prio: 3})
 				apps.BackgroundLoad(w, 2, 8, 0, 10*sim.Millisecond, 2*sim.Millisecond)
-			})
+			}, mb)
 		if err != nil {
 			return runCheck{}, err
 		}
-		m := core.ExtractModel(s.Trace)
+		m := mb.Finish()
 		designed := map[string]sim.Duration{}
 		for name, d := range apps.SYNDesignedET {
 			designed[name] = sim.Duration(float64(d) * scale)
@@ -786,6 +793,7 @@ func All(cfg Config) ([]Result, error) {
 		TableIExperiment, Fig3aExperiment, Fig3bExperiment, TableIIExperiment,
 		Fig4Experiment, OverheadsExperiment, Fig2Experiment,
 		AblationServiceExperiment, AblationSyncExperiment, ValidationExperiment,
+		CapacityPlanExperiment,
 	} {
 		r, err := e(cfg)
 		if err != nil {

@@ -96,11 +96,14 @@ type Session struct {
 	LostRecords uint64
 }
 
-// RunSession boots a world, attaches the three tracers (kernel tracer
-// filtered unless stated), builds the application, runs for duration, and
-// drains the trace — the deployment sequence of Fig. 2.
-func RunSession(seed uint64, cpus int, duration sim.Duration, filteredKernel bool,
-	build func(*rclcpp.World)) (*Session, error) {
+// RunSessionInto boots a world, attaches the three tracers (kernel
+// tracer filtered unless stated), builds the application, runs for
+// duration, and streams the trace into sink — the deployment sequence of
+// Fig. 2 on the streaming path: decoded events flow from the per-CPU
+// rings through the tournament merge straight into the sink, and no
+// merged trace is ever materialized (Session.Trace stays nil).
+func RunSessionInto(seed uint64, cpus int, duration sim.Duration, filteredKernel bool,
+	build func(*rclcpp.World), sink trace.Sink) (*Session, error) {
 	w := rclcpp.NewWorld(rclcpp.Config{NumCPUs: cpus, Seed: seed})
 	b, err := tracers.NewBundle(w.Runtime())
 	if err != nil {
@@ -120,12 +123,11 @@ func RunSession(seed uint64, cpus int, duration sim.Duration, filteredKernel boo
 	// TR_IN has seen all node creations; it can be stopped now (Fig. 2).
 	b.StopInit()
 	w.Run(duration)
-	tr, err := b.Drain()
-	if err != nil {
+	if err := b.StreamTo(sink); err != nil {
 		return nil, err
 	}
 	s := &Session{
-		World: w, Bundle: b, Trace: tr,
+		World: w, Bundle: b,
 		TraceBytes:  b.TraceBytes(),
 		ProbeCostNs: w.Runtime().CostNs(),
 		BytesPerCPU: b.BytesPerCPU(),
@@ -135,6 +137,21 @@ func RunSession(seed uint64, cpus int, duration sim.Duration, filteredKernel boo
 	for _, th := range w.Machine().Threads() {
 		s.AppCPUNs += float64(th.CPUTime())
 	}
+	return s, nil
+}
+
+// RunSession is RunSessionInto collecting the stream into a materialized
+// Session.Trace — the batch-compatibility entry point for consumers that
+// need the whole event sequence (trace stores, multi-mode synthesis,
+// ...).
+func RunSession(seed uint64, cpus int, duration sim.Duration, filteredKernel bool,
+	build func(*rclcpp.World)) (*Session, error) {
+	var col trace.Collector
+	s, err := RunSessionInto(seed, cpus, duration, filteredKernel, build, &col)
+	if err != nil {
+		return nil, err
+	}
+	s.Trace = &col.Trace
 	return s, nil
 }
 

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/tracesynth/rostracer/internal/apps"
+	"github.com/tracesynth/rostracer/internal/core"
+	"github.com/tracesynth/rostracer/internal/rclcpp"
+	"github.com/tracesynth/rostracer/internal/sim"
+	"github.com/tracesynth/rostracer/internal/trace"
+)
+
+// TestStreamedFigureTextMatchesBatch is the harness-level acceptance
+// test for the streaming refactor: the figure artifacts (DAG summary and
+// DOT text) produced by the streaming session pipeline must be
+// byte-identical to what the batch pipeline — materialize the trace,
+// then synthesize — produces from an identical session.
+func TestStreamedFigureTextMatchesBatch(t *testing.T) {
+	for _, seed := range []uint64{3, 11} {
+		build := BuildBoth(1)
+
+		sink := core.NewSynthesizeSink()
+		if _, err := RunSessionInto(seed, 8, 6*sim.Second, true, build, sink); err != nil {
+			t.Fatal(err)
+		}
+		dStream := sink.DAG()
+
+		s, err := RunSession(seed, 8, 6*sim.Second, true, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dBatch := core.Synthesize(s.Trace)
+
+		if got, want := core.Summary(dStream), core.Summary(dBatch); got != want {
+			t.Fatalf("seed %d: summaries differ:\n--- streamed ---\n%s--- batch ---\n%s", seed, got, want)
+		}
+		if got, want := core.ToDOT(dStream, "g"), core.ToDOT(dBatch, "g"); got != want {
+			t.Fatalf("seed %d: DOT differs:\n--- streamed ---\n%s--- batch ---\n%s", seed, got, want)
+		}
+	}
+}
+
+// TestRunSessionIntoCounterMatchesBatchCounts checks the counting sink
+// sees exactly the events the batch collector materializes, kind by
+// kind.
+func TestRunSessionIntoCounterMatchesBatchCounts(t *testing.T) {
+	build := func(w *rclcpp.World) { apps.BuildSYN(w, apps.SYNConfig{}) }
+
+	var kc trace.KindCounter
+	if _, err := RunSessionInto(5, 4, 3*sim.Second, true, build, &kc); err != nil {
+		t.Fatal(err)
+	}
+	s, err := RunSession(5, 4, 3*sim.Second, true, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kc.Total() != s.Trace.Len() {
+		t.Fatalf("counter saw %d events, batch trace has %d", kc.Total(), s.Trace.Len())
+	}
+	batchCounts := map[trace.Kind]int{}
+	for _, e := range s.Trace.Events {
+		batchCounts[e.Kind]++
+	}
+	for kind, n := range batchCounts {
+		if kc.Count(kind) != n {
+			t.Fatalf("kind %v: counter %d, batch %d", kind, kc.Count(kind), n)
+		}
+	}
+}

@@ -180,23 +180,56 @@ type jsonEvent struct {
 	PSt   int32  `json:"prev_state,omitempty"`
 }
 
+// JSONLSink is a Sink streaming events to w as one JSON object per line.
+// Encoding errors are sticky: the first one stops further output and is
+// reported by Flush (and Err).
+type JSONLSink struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink creates a JSONL sink over w. Call Flush when the stream
+// ends.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Observe implements Sink.
+func (s *JSONLSink) Observe(e Event) {
+	if s.err != nil {
+		return
+	}
+	je := jsonEvent{
+		T: int64(e.Time), Seq: e.Seq, PID: e.PID, Kind: e.Kind.String(),
+		K: uint8(e.Kind), Node: e.Node, CBID: e.CBID, Topic: e.Topic,
+		SrcTS: e.SrcTS, Ret: e.Ret, CPU: e.CPU, PPID: e.PrevPID,
+		NPID: e.NextPID, PPrio: e.PrevPrio, NPrio: e.NextPrio, PSt: e.PrevState,
+	}
+	s.err = s.enc.Encode(&je)
+}
+
+// Err reports the first encoding error, if any.
+func (s *JSONLSink) Err() error { return s.err }
+
+// Flush writes buffered output and reports the first error of the whole
+// stream.
+func (s *JSONLSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.bw.Flush()
+}
+
 // WriteJSONL encodes t as one JSON object per line, a convenient form for
 // external tooling.
 func WriteJSONL(w io.Writer, t *Trace) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
+	s := NewJSONLSink(w)
 	for _, e := range t.Events {
-		je := jsonEvent{
-			T: int64(e.Time), Seq: e.Seq, PID: e.PID, Kind: e.Kind.String(),
-			K: uint8(e.Kind), Node: e.Node, CBID: e.CBID, Topic: e.Topic,
-			SrcTS: e.SrcTS, Ret: e.Ret, CPU: e.CPU, PPID: e.PrevPID,
-			NPID: e.NextPID, PPrio: e.PrevPrio, NPrio: e.NextPrio, PSt: e.PrevState,
-		}
-		if err := enc.Encode(&je); err != nil {
-			return err
-		}
+		s.Observe(e)
 	}
-	return bw.Flush()
+	return s.Flush()
 }
 
 // ReadJSONL decodes a trace written by WriteJSONL.

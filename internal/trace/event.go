@@ -328,7 +328,11 @@ const mergeLinearStreams = 4
 // mergeHeap is the many-stream merge path: a binary min-heap of stream
 // indexes ordered by head event, tie-broken by input index so the output
 // is byte-identical to the linear scan (and to the stable sort of the
-// concatenation).
+// concatenation). It is the batch specialization of MergeStream — same
+// algorithm, same tie-breaking, pinned against it by
+// TestMergeStreamMatchesMerge — kept free of interface dispatch and
+// per-stream cursor allocations because every >4-stream Bundle drain
+// funnels through here.
 func mergeHeap(out *Trace, ins []*Trace, idx []int, total int) *Trace {
 	less := func(a, b int) bool {
 		ea, eb := &ins[a].Events[idx[a]], &ins[b].Events[idx[b]]

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tracesynth/rostracer/internal/sim"
+)
+
+// randomSortedStreams builds n independently (Time, Seq)-sorted streams
+// whose Seq values are globally unique, like perf rings sharing one
+// emission counter.
+func randomSortedStreams(rng *rand.Rand, n, maxLen int) []*Trace {
+	seq := uint64(0)
+	streams := make([]*Trace, n)
+	for i := range streams {
+		streams[i] = &Trace{}
+	}
+	// Round-robin with random skips, time advancing globally: every
+	// stream ends up individually sorted.
+	now := sim.Time(0)
+	for placed := 0; placed < n*maxLen; placed++ {
+		s := rng.Intn(n)
+		for len(streams[s].Events) >= maxLen {
+			s = (s + 1) % n
+		}
+		if rng.Intn(3) == 0 {
+			now += sim.Time(rng.Intn(50))
+		}
+		streams[s].Append(Event{
+			Time: now,
+			Seq:  seq,
+			PID:  uint32(100 + s),
+			Kind: KindSchedSwitch,
+			CPU:  int32(s),
+		})
+		seq++
+	}
+	return streams
+}
+
+// TestMergeStreamMatchesMerge pins the streaming merge to the batch
+// Merge byte for byte, across random stream counts on both sides of the
+// linear/heap threshold.
+func TestMergeStreamMatchesMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(12)
+		streams := randomSortedStreams(rng, n, 1+rng.Intn(60))
+		want := Merge(streams...)
+
+		curs := make([]Cursor, n)
+		for i, s := range streams {
+			curs[i] = &SliceCursor{Events: s.Events}
+		}
+		var col Collector
+		if err := NewMergeStream(curs...).Run(&col); err != nil {
+			t.Fatal(err)
+		}
+		got := &col.Trace
+		if got.Len() != want.Len() {
+			t.Fatalf("trial %d: stream merged %d events, batch %d", trial, got.Len(), want.Len())
+		}
+		for i := range want.Events {
+			if got.Events[i] != want.Events[i] {
+				t.Fatalf("trial %d: event %d differs:\n stream: %v\n batch:  %v",
+					trial, i, got.Events[i], want.Events[i])
+			}
+		}
+	}
+}
+
+// TestMergeStreamTieBreak pins tie resolution: equal (Time, Seq) pairs
+// resolve to the earlier cursor, matching Merge's stable behaviour.
+func TestMergeStreamTieBreak(t *testing.T) {
+	a := &Trace{Events: []Event{{Time: 5, Seq: 1, PID: 1}, {Time: 9, Seq: 3, PID: 1}}}
+	b := &Trace{Events: []Event{{Time: 5, Seq: 1, PID: 2}, {Time: 9, Seq: 3, PID: 2}}}
+	var col Collector
+	err := NewMergeStream(&SliceCursor{Events: a.Events}, &SliceCursor{Events: b.Events}).Run(&col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPIDs := []uint32{1, 2, 1, 2}
+	for i, e := range col.Trace.Events {
+		if e.PID != wantPIDs[i] {
+			t.Fatalf("tie-break broken at %d: got PID %d, want %d", i, e.PID, wantPIDs[i])
+		}
+	}
+}
+
+// TestMergeStreamBufferBound checks the merge never holds more than one
+// event per input stream, regardless of total stream length.
+func TestMergeStreamBufferBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	streams := randomSortedStreams(rng, 9, 500)
+	curs := make([]Cursor, len(streams))
+	for i, s := range streams {
+		curs[i] = &SliceCursor{Events: s.Events}
+	}
+	m := NewMergeStream(curs...)
+	total, maxBuf := 0, 0
+	if err := m.Run(SinkFunc(func(Event) {
+		total++
+		if b := m.Buffered(); b > maxBuf {
+			maxBuf = b
+		}
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if total != 9*500 {
+		t.Fatalf("merged %d events, want %d", total, 9*500)
+	}
+	if maxBuf > len(streams) {
+		t.Fatalf("merge buffered %d events; bound is one per stream (%d)", maxBuf, len(streams))
+	}
+}
+
+// TestKindCounterAndMultiSink exercises the tee and the counting sink
+// against a collector on the same stream.
+func TestKindCounterAndMultiSink(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	streams := randomSortedStreams(rng, 3, 40)
+	streams[0].Events[0].Kind = KindCreateNode
+
+	var kc KindCounter
+	var col Collector
+	curs := make([]Cursor, len(streams))
+	for i, s := range streams {
+		curs[i] = &SliceCursor{Events: s.Events}
+	}
+	if err := NewMergeStream(curs...).Run(MultiSink(&kc, nil, &col)); err != nil {
+		t.Fatal(err)
+	}
+	if kc.Total() != col.Trace.Len() {
+		t.Fatalf("counter saw %d events, collector %d", kc.Total(), col.Trace.Len())
+	}
+	if kc.Count(KindCreateNode) != 1 {
+		t.Fatalf("KindCreateNode count = %d, want 1", kc.Count(KindCreateNode))
+	}
+	if kc.Count(KindSchedSwitch) != col.Trace.Len()-1 {
+		t.Fatalf("KindSchedSwitch count = %d, want %d", kc.Count(KindSchedSwitch), col.Trace.Len()-1)
+	}
+}
+
+// TestCollectorGrow checks Grow pre-allocates without changing content.
+func TestCollectorGrow(t *testing.T) {
+	var c Collector
+	c.Observe(Event{Time: 1, Seq: 1})
+	c.Grow(100)
+	if cap(c.Trace.Events)-len(c.Trace.Events) < 100 {
+		t.Fatalf("Grow(100) left capacity %d", cap(c.Trace.Events)-len(c.Trace.Events))
+	}
+	if c.Trace.Len() != 1 || c.Trace.Events[0].Seq != 1 {
+		t.Fatal("Grow corrupted collected events")
+	}
+}

@@ -40,8 +40,18 @@ type Bundle struct {
 
 // NewBundle constructs maps, perf buffers, and all probe programs, and
 // verifies ("loads") every program against rt. No probe is attached yet;
-// use the Start* methods.
+// use the Start* methods. Rings are unbounded, the configuration every
+// figure experiment uses.
 func NewBundle(rt *ebpf.Runtime) (*Bundle, error) {
+	return NewBundleCapacity(rt, 0)
+}
+
+// NewBundleCapacity is NewBundle with a per-CPU ring record bound on
+// every tracer buffer (0 means unbounded). Bounded rings model real
+// perf_event_array overruns: records beyond the bound are counted lost
+// against the overrunning CPU, the data the capacity-planning experiment
+// sweeps.
+func NewBundleCapacity(rt *ebpf.Runtime, perRingCapacity int) (*Bundle, error) {
 	b := &Bundle{rt: rt, progs: make(map[string]*ebpf.Program)}
 	b.pidMap = ebpf.NewHashMap("ros2_pids", 1024)
 	b.entMap = ebpf.NewHashMap("take_entity_addr", 4096)
@@ -50,9 +60,9 @@ func NewBundle(rt *ebpf.Runtime) (*Bundle, error) {
 	entFD := rt.RegisterMap(b.entMap)
 	srcFD := rt.RegisterMap(b.srcMap)
 
-	b.initPB = ebpf.NewPerfBufferSeq("tr_in", 0, &b.seq)
-	b.rtPB = ebpf.NewPerfBufferSeq("tr_rt", 0, &b.seq)
-	b.knPB = ebpf.NewPerfBufferSeq("tr_kn", 0, &b.seq)
+	b.initPB = ebpf.NewPerfBufferSeq("tr_in", perRingCapacity, &b.seq)
+	b.rtPB = ebpf.NewPerfBufferSeq("tr_rt", perRingCapacity, &b.seq)
+	b.knPB = ebpf.NewPerfBufferSeq("tr_kn", perRingCapacity, &b.seq)
 	initFD := rt.RegisterMap(b.initPB)
 	rtFD := rt.RegisterMap(b.rtPB)
 	knFD := rt.RegisterMap(b.knPB)
@@ -260,36 +270,67 @@ func (b *Bundle) BytesPerCPU() []uint64 {
 	return out
 }
 
-// Drain decodes and merges all pending records from the three tracers into
-// one chronologically sorted trace. Each tracer owns one ring per CPU, so
-// the drain is a k-way merge over 3×NCPU streams: every ring drains in
-// emission order — monotonic in (Time, Seq), since virtual time never
-// runs backwards and the shared emission counter only grows — and
-// trace.Merge combines them without a global sort.
-func (b *Bundle) Drain() (*trace.Trace, error) {
-	nRings := 0
-	for _, pb := range b.perfBuffers() {
-		nRings += pb.NumRings()
+// recordCursor adapts one drained per-CPU ring segment to a decoded
+// event stream: records decode lazily, one at a time, as the merge pulls
+// them, so the streaming drain never materializes a per-ring event
+// slice.
+type recordCursor struct {
+	recs *ebpf.RecordCursor
+}
+
+// Next implements trace.Cursor.
+func (c *recordCursor) Next() (trace.Event, bool, error) {
+	rec, ok := c.recs.Next()
+	if !ok {
+		return trace.Event{}, false, nil
 	}
-	streams := make([]*trace.Trace, 0, nRings)
+	ev, err := DecodeRecord(rec)
+	if err != nil {
+		return trace.Event{}, false, err
+	}
+	return ev, true, nil
+}
+
+// StreamTo drains the three tracers into sink: each tracer owns one ring
+// per CPU, every ring's current segment becomes a lazily-decoded cursor,
+// and a tournament-heap merge delivers the 3×NCPU streams to the sink in
+// (Time, Seq) order — each ring drains in emission order, monotonic in
+// (Time, Seq) since virtual time never runs backwards and the shared
+// emission counter only grows. No merged trace is ever materialized: the
+// merge holds at most one decoded event per ring, so peak buffering is
+// bounded by the ring count (plus the raw segments already resident in
+// the ring arenas), independent of how many events a drain covers.
+func (b *Bundle) StreamTo(sink trace.Sink) error {
+	var cursors []trace.Cursor
 	for _, pb := range b.perfBuffers() {
 		for cpu := 0; cpu < pb.NumRings(); cpu++ {
-			recs := pb.DrainCPU(cpu)
-			if len(recs) == 0 {
+			rc := pb.DrainCursor(cpu)
+			if rc.Len() == 0 {
 				continue
 			}
-			t := &trace.Trace{Events: make([]trace.Event, 0, len(recs))}
-			for _, rec := range recs {
-				ev, err := DecodeRecord(rec)
-				if err != nil {
-					return nil, err
-				}
-				t.Events = append(t.Events, ev)
-			}
-			streams = append(streams, t)
+			cursors = append(cursors, &recordCursor{recs: rc})
 		}
 	}
-	return trace.Merge(streams...), nil
+	if len(cursors) == 0 {
+		return nil
+	}
+	return trace.NewMergeStream(cursors...).Run(sink)
+}
+
+// Drain decodes and merges all pending records from the three tracers into
+// one chronologically sorted trace: the batch-compatibility wrapper over
+// StreamTo, collecting the stream into a single exactly-sized trace.
+func (b *Bundle) Drain() (*trace.Trace, error) {
+	var col trace.Collector
+	pending := 0
+	for _, pb := range b.perfBuffers() {
+		pending += pb.Pending()
+	}
+	col.Grow(pending)
+	if err := b.StreamTo(&col); err != nil {
+		return nil, err
+	}
+	return &col.Trace, nil
 }
 
 // BridgeSched wires the simulated machine's scheduler notifications into
