@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-smoke stream-bench fuzz-smoke baseline
+.PHONY: all build test vet race check bench bench-smoke bench-compare stream-bench fuzz-smoke baseline
 
 all: check
 
@@ -33,9 +33,17 @@ bench-smoke:
 stream-bench:
 	$(GO) test -run '^$$' -bench 'Bundle_|Alg1_|Trace_Merge' -benchmem .
 
-# Short coverage-guided fuzz pass over the binary trace codec (used by CI).
+# Run the suite and diff against BENCH_baseline.json: fails on >15% ns/op
+# regression of the named hot-path benchmarks (scripts/bench_compare.py).
+bench-compare:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms . | python3 scripts/bench_to_json.py > /tmp/bench_new.json
+	python3 scripts/bench_compare.py BENCH_baseline.json /tmp/bench_new.json
+
+# Short coverage-guided fuzz passes (used by CI): the binary trace codec
+# and the tier-0 vs tier-1 decode equivalence of random programs.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadBinary -fuzztime 10s ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzTier1Equivalence -fuzztime 10s ./internal/ebpf
 
 # Regenerate the BENCH_baseline.json snapshot future perf PRs compare
 # against.

@@ -238,10 +238,12 @@ func BenchmarkEBPF_ProbeDispatch(b *testing.B) {
 // dispatchRuntime builds a runtime with a representative tracer-shaped
 // program (ctx loads, ALU, branches, four map-helper calls, no perf
 // output so the workload is pure dispatch) attached to one uprobe.
-func dispatchRuntime(b *testing.B, predecode bool) (*ebpf.Runtime, ebpf.Symbol) {
+// hotThreshold configures the tier-1 promotion point (0 pins tier 0).
+func dispatchRuntime(b *testing.B, predecode bool, hotThreshold uint64) (*ebpf.Runtime, ebpf.Symbol) {
 	b.Helper()
 	rt := ebpf.NewRuntime(func() int64 { return 42 }, nil)
 	rt.SetPredecode(predecode)
+	rt.SetHotThreshold(hotThreshold)
 	hm := ebpf.NewHashMap("state", 1024)
 	fd := rt.RegisterMap(hm)
 	p := ebpf.NewAssembler("dispatch_bench").
@@ -287,9 +289,27 @@ func dispatchRuntime(b *testing.B, predecode bool) (*ebpf.Runtime, ebpf.Symbol) 
 }
 
 // BenchmarkEBPF_DispatchDecoded measures one probe fire through the
-// load-time pre-decoded dispatch form.
+// tiered decode pipeline in its steady state: the warmup fires cross the
+// hotness threshold, so the measured loop dispatches over the
+// profile-guided tier-1 form (fused helper patterns, compacted hot
+// blocks) exactly as a long tracing session does.
 func BenchmarkEBPF_DispatchDecoded(b *testing.B) {
-	rt, sym := dispatchRuntime(b, true)
+	rt, sym := dispatchRuntime(b, true, ebpf.DefaultHotThreshold())
+	for i := uint64(0); i <= ebpf.DefaultHotThreshold(); i++ {
+		rt.FireUprobe(7, 0, sym, i, i>>3)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.FireUprobe(7, 0, sym, uint64(i), uint64(i>>3))
+	}
+}
+
+// BenchmarkEBPF_DispatchTier0 measures the same fire pinned to the
+// load-time tier-0 decode (no profile-guided re-decode) — the before
+// side of the tier-1 optimization.
+func BenchmarkEBPF_DispatchTier0(b *testing.B) {
+	rt, sym := dispatchRuntime(b, true, 0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -301,7 +321,7 @@ func BenchmarkEBPF_DispatchDecoded(b *testing.B) {
 // reference interpreter (per-retire operand resolution and map-fd
 // hashing) — the before side of the decode optimization.
 func BenchmarkEBPF_DispatchRaw(b *testing.B) {
-	rt, sym := dispatchRuntime(b, false)
+	rt, sym := dispatchRuntime(b, false, 0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

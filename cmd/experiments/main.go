@@ -34,12 +34,13 @@ var experiments = map[string]func(harness.Config) (harness.Result, error){
 	"ablation-sync":    harness.AblationSyncExperiment,
 	"validation":       harness.ValidationExperiment,
 	"capacity-plan":    harness.CapacityPlanExperiment,
+	"adaptive-drain":   harness.AdaptiveDrainExperiment,
 }
 
 var order = []string{
 	"tableI", "fig3a", "fig3b", "tableII", "fig4",
 	"overheads", "fig2", "ablation-service", "ablation-sync", "validation",
-	"capacity-plan",
+	"capacity-plan", "adaptive-drain",
 }
 
 func main() {

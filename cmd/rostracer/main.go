@@ -40,6 +40,8 @@ func main() {
 	cpus := flag.Int("cpus", 12, "simulated CPU count")
 	jsonl := flag.Bool("jsonl", false, "additionally dump each session as JSONL")
 	unfilteredKernel := flag.Bool("unfiltered-kernel", false, "disable PID filtering in the kernel tracer")
+	ringCapacity := flag.Int("ring-capacity", 0, "per-CPU perf ring record bound (0 = unbounded)")
+	adaptive := flag.Bool("adaptive-drain", false, "plan the drain period from per-ring pending/lost gauges instead of the fixed -segment")
 	flag.Parse()
 
 	build, err := buildFunc(*app)
@@ -53,12 +55,30 @@ func main() {
 
 	for run := 0; run < *runs; run++ {
 		session := fmt.Sprintf("%s-run%03d", *app, run)
-		if err := traceOneRun(store, session, build, *seed+uint64(run), *cpus,
-			sim.Duration(*duration), sim.Duration(*segment), !*unfilteredKernel, *jsonl, *out); err != nil {
+		cfg := runConfig{
+			seed: *seed + uint64(run), cpus: *cpus,
+			duration: sim.Duration(*duration), segment: sim.Duration(*segment),
+			filtered: !*unfilteredKernel, jsonl: *jsonl, outDir: *out,
+			ringCapacity: *ringCapacity, adaptive: *adaptive,
+		}
+		if err := traceOneRun(store, session, build, cfg); err != nil {
 			log.Fatalf("run %d: %v", run, err)
 		}
 		log.Printf("session %s written to %s", session, *out)
 	}
+}
+
+// runConfig carries one session's tracing parameters.
+type runConfig struct {
+	seed         uint64
+	cpus         int
+	duration     sim.Duration
+	segment      sim.Duration
+	filtered     bool
+	jsonl        bool
+	outDir       string
+	ringCapacity int
+	adaptive     bool
 }
 
 func buildFunc(app string) (func(*rclcpp.World), error) {
@@ -73,10 +93,9 @@ func buildFunc(app string) (func(*rclcpp.World), error) {
 	return nil, fmt.Errorf("unknown app %q (want avp, syn, or both)", app)
 }
 
-func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World),
-	seed uint64, cpus int, duration, segment sim.Duration, filtered, jsonl bool, outDir string) (retErr error) {
-	w := rclcpp.NewWorld(rclcpp.Config{NumCPUs: cpus, Seed: seed})
-	b, err := tracers.NewBundle(w.Runtime())
+func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), cfg runConfig) (retErr error) {
+	w := rclcpp.NewWorld(rclcpp.Config{NumCPUs: cfg.cpus, Seed: cfg.seed})
+	b, err := tracers.NewBundleCapacity(w.Runtime(), cfg.ringCapacity)
 	if err != nil {
 		return err
 	}
@@ -87,7 +106,7 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World),
 	if err := b.StartRT(); err != nil {
 		return err
 	}
-	if err := b.StartKernel(filtered); err != nil {
+	if err := b.StartKernel(cfg.filtered); err != nil {
 		return err
 	}
 	build(w)
@@ -99,9 +118,13 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World),
 	// segment — never the whole run. Successive drains stay globally
 	// (Time, Seq) ordered, which keeps the concatenated JSONL identical
 	// to what a whole-run merge would emit.
+	//
+	// With -adaptive-drain the period is planned per segment by a
+	// DrainScheduler from the per-ring pending/lost gauges (-segment
+	// caps it); otherwise it is the fixed -segment.
 	var jsonlSink *trace.JSONLSink
-	if jsonl {
-		jsonlPath := fmt.Sprintf("%s/%s.jsonl", outDir, session)
+	if cfg.jsonl {
+		jsonlPath := fmt.Sprintf("%s/%s.jsonl", cfg.outDir, session)
 		f, err := os.Create(jsonlPath)
 		if err != nil {
 			return err
@@ -116,14 +139,44 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World),
 		}()
 		jsonlSink = trace.NewJSONLSink(f)
 	}
+	var sched *tracers.DrainScheduler
+	if cfg.adaptive {
+		if cfg.ringCapacity <= 0 {
+			log.Printf("  warning: -adaptive-drain without -ring-capacity: unbounded rings cannot overrun, draining at the fixed -segment period")
+		}
+		sched = tracers.NewDrainScheduler(b, tracers.DrainPolicy{
+			Capacity:   cfg.ringCapacity,
+			TargetFill: 0.5,
+			Min:        cfg.segment / 64,
+			Max:        cfg.segment,
+		})
+	}
 	totalEvents := 0
 	segIdx := 0
-	for elapsed := sim.Duration(0); elapsed < duration; elapsed += segment {
-		step := segment
-		if duration-elapsed < step {
-			step = duration - elapsed
+	var prevLost uint64
+	for elapsed := sim.Duration(0); elapsed < cfg.duration; {
+		step := cfg.segment
+		if sched != nil {
+			step = sched.Interval()
+		}
+		if rest := cfg.duration - elapsed; step > rest {
+			step = rest
 		}
 		w.Run(step)
+		elapsed += step
+
+		// Per-ring gauges, read before the drain clears them: the worst
+		// ring's backlog and any overruns attributed to this window.
+		pendHWM, pendCPU := b.MaxRingPending()
+		lostDelta := b.Lost() - prevLost
+		nextStep := step
+		if sched != nil {
+			obs := sched.Observe(step)
+			pendHWM, pendCPU = obs.MaxPending, obs.MaxPendingCPU
+			nextStep = obs.Next
+		}
+		prevLost = b.Lost()
+
 		var col trace.Collector
 		sink := trace.Sink(&col)
 		if jsonlSink != nil {
@@ -144,6 +197,9 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World),
 			return err
 		}
 		totalEvents += col.Trace.Len()
+		log.Printf("  seg %-3d t=%-12v %6d events, ring hwm cpu%d=%d, lost +%d (total %d), next period %v",
+			segIdx, sim.Duration(elapsed), col.Trace.Len(), pendCPU, pendHWM,
+			lostDelta, b.Lost(), nextStep)
 		segIdx++
 	}
 	if jsonlSink != nil {
@@ -153,7 +209,7 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World),
 	}
 	log.Printf("  %d events, %.2f MB perf payload, probe cost %.4f cores",
 		totalEvents, float64(b.TraceBytes())/1e6,
-		w.Runtime().CostNs()/float64(duration))
+		w.Runtime().CostNs()/float64(cfg.duration))
 	// Per-CPU ring accounting, as a real perf_event_array poller reports
 	// it: payload per CPU, and any overruns attributed to the ring that
 	// dropped them.

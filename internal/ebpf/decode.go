@@ -11,6 +11,14 @@ import "fmt"
 // perf buffers — happens once at load time instead. The VM dispatches over
 // this form on every probe fire; the raw Instruction slice is kept for
 // diagnostics and as the reference interpreter.
+//
+// Decoding is tiered. Tier 0 (this file) is the load-time lowering plus
+// near-free profiling: every fused-run slot carries an execution counter
+// and the program counts its runs. When a program crosses its hotness
+// threshold (or on an explicit Runtime.Reoptimize), tier 1 (tier1.go)
+// re-decodes it using the observed counts: helper-argument setup patterns
+// fuse into dedicated superinstructions, immediate chains constant-fold,
+// and hot blocks are compacted into a dense, profile-ordered slot array.
 
 // Internal opcodes produced only by the decoder, numbered above the raw
 // opcode space.
@@ -19,6 +27,11 @@ const (
 	// pre-resolved instructions executed back to back without per-retire
 	// outer-loop overhead.
 	opRunFused Op = 0x80 + iota
+	// opRunExit is a tier-1 run that ends the program: the dispatch loop
+	// returns straight after the run instead of bouncing through a
+	// separate exit slot. Its retire count includes the folded OpExit
+	// (and any jump-threaded Ja slots).
+	opRunExit
 	// Width-specialized stack ops with the verifier-proven absolute frame
 	// index in tgt: no runtime address arithmetic or width switch.
 	opLdxFP8
@@ -33,6 +46,39 @@ const (
 	opStImmFP4
 	opStImmFP2
 	opStImmFP1
+
+	// Tier-1 pattern superinstructions (produced only by reoptimize; see
+	// tier1.go for the matcher and vm.go for the semantics). Each covers a
+	// contiguous range of original instructions [pc, pc+w) and falls back
+	// to the tier-0 ops of that range if its runtime guard fails.
+	opStoreRunImm       // copy templates[imm] into stack[tgt:]
+	opLdxCtx2           // regs[dst] = ctx[tgt]; regs[src] = ctx[imm]
+	opCtxToStack        // regs[dst] = ctx[imm]; stack[tgt:+8] = regs[dst]
+	opTimeToStack       // regs[R0] = now; stack[tgt:+8] = regs[R0]
+	opPidToStack        // regs[R0] = pid; stack[tgt:+8] = regs[R0]
+	opCPUToStack        // regs[R0] = cpu; stack[tgt:+8] = regs[R0]
+	opCallTime          // regs[R0] = now
+	opCallPid           // regs[R0] = pid
+	opCallCPU           // regs[R0] = cpu
+	opEmitRecord        // calls[tgt].pb.Emit(stack[base:base+size]); imm = base<<32|size
+	opMapLookupFast     // regs[R0] = calls[tgt].map.Lookup(key)
+	opMapExistFast      // regs[R0] = key present in calls[tgt].map
+	opMapDeleteFast     // calls[tgt].map.Delete(key)
+	opMapUpdateFast     // calls[tgt].map.Update(key, value)
+	opProbeReadFast     // probe_read(stack[tgt:tgt+imm], addr=regs[src])
+	opProbeReadStrFast  // probe_read_str(stack[tgt:tgt+imm], addr=regs[src])
+)
+
+// Argument-source and result-forwarding flags for the fused helper ops,
+// stored in dop.size.
+const (
+	mapKeyImm uint8 = 1 << 0 // key is dop.imm, not regs[src]
+	mapValImm uint8 = 1 << 1 // update value is dop.imm, not regs[dst]
+	// resFwdAdd marks an absorbed "add result" successor: the op performs
+	// regs[dst] += R0 after setting R0, instead of the plain copy a
+	// forwarded dst receives (dst = R0 is the no-forward encoding — the
+	// copy is then the identity store the op does anyway).
+	resFwdAdd uint8 = 1 << 2
 )
 
 // decodedRegs is the decoded-dispatch register file size: a power of two,
@@ -70,10 +116,27 @@ func fpSpecial(op Op, size uint8) Op {
 	}
 }
 
+// stImmWidth reports the store width of a specialized immediate stack
+// store, or 0 for any other op.
+func stImmWidth(op Op) int32 {
+	switch op {
+	case opStImmFP8:
+		return 8
+	case opStImmFP4:
+		return 4
+	case opStImmFP2:
+		return 2
+	case opStImmFP1:
+		return 1
+	}
+	return 0
+}
+
 // dop is one pre-resolved straight-line instruction, kept to 24 bytes so
 // fused runs iterate cache-line-dense. tgt is overloaded per op: absolute
-// frame index (specialized stack ops), ctx word index (OpLdxCtx), memory
-// offset (generic stack ops), or call-binding index (OpCall).
+// frame index (specialized stack ops and pattern ops), ctx word index
+// (OpLdxCtx), memory offset (generic stack ops), or call-binding index
+// (OpCall and fused helper ops).
 type dop struct {
 	op   Op
 	dst  uint8
@@ -81,8 +144,9 @@ type dop struct {
 	size uint8
 	tgt  int32
 	imm  uint64
-	pc   int32 // original instruction index, for error attribution
-	_    int32 // padding; keeps the struct at 24 bytes explicitly
+	pc   int32 // original pc of the first covered instruction
+	w    uint8 // original instructions covered (retire weight); ops[pc:pc+w]
+	_    [3]byte
 }
 
 // dcall is the decode-time binding of one helper call site.
@@ -90,17 +154,46 @@ type dcall struct {
 	helper HelperID
 	m      Map         // bound map for map-taking helpers
 	pb     *PerfBuffer // bound perf buffer for perf_event_output
+	hm     *HashMap    // devirtualized map, when m is a HashMap
 }
 
 // dinsn is one top-level dispatch slot: a fused run, a jump, or exit.
-// Slots in the middle of a fused run are unreachable and left zeroed.
+// In the tier-0 layout slots are indexed by original pc and slots in the
+// middle of a fused run are unreachable and left zeroed; the tier-1
+// layout is compacted (every slot reachable, profile-ordered).
 type dinsn struct {
-	op  Op
-	dst uint8
-	src uint8
-	tgt int32 // absolute jump target, or next pc after a fused run
-	imm uint64
-	run []dop // opRunFused: the fused constituent instructions
+	op     Op
+	dst    uint8
+	src    uint8
+	tgt    int32 // absolute jump target, or next slot after a fused run
+	retire int32 // original instructions retired by a fused run
+	imm    uint64
+	hits   uint64 // tier-0 profile: times this run slot was entered
+	run    []dop  // opRunFused: the fused constituent instructions
+}
+
+// decodedProgram is one immutable dispatch form of a program. A Program
+// points at its current form through an atomic pointer, so tier swaps are
+// atomic with respect to in-flight fires: a run loads the pointer once
+// and executes that form to completion even if a reoptimization lands
+// mid-run.
+type decodedProgram struct {
+	tier  int     // 0: load-time lowering; 1: profile-guided re-decode
+	insns []dinsn // dispatch slots (pc-indexed in tier 0, compact in tier 1)
+	calls []dcall // per-call-site helper bindings (shared across tiers)
+	// ops is the tier-0 per-instruction lowering, indexed by original pc.
+	// Tier 1 re-fuses from it and pattern ops fall back to their
+	// ops[pc:pc+w] range when a runtime guard fails.
+	ops []dop
+	// templates backs opStoreRunImm: pre-rendered little-endian bytes of a
+	// fused immediate-store ladder.
+	templates [][]byte
+	// runs counts program entries while in tier 0; when it crosses
+	// hotThreshold (>0) the VM swaps in the tier-1 form. Plain fields:
+	// like the rest of the fire path they are owned by one
+	// single-threaded simulation.
+	runs         uint64
+	hotThreshold uint64
 }
 
 // isJump reports whether op transfers control.
@@ -113,9 +206,10 @@ func isJump(op Op) bool {
 	return false
 }
 
-// decode builds p.decoded against the given fd table. The program must be
-// verified: decoding leans on verifier guarantees (constant map fds at
-// call sites, constant stack-access offsets, in-range jumps).
+// decode builds the tier-0 dispatch form of p against the given fd table.
+// The program must be verified: decoding leans on verifier guarantees
+// (constant map fds at call sites, constant stack-access offsets,
+// in-range jumps).
 //
 // Decoding happens in two passes. The first lowers each instruction into a
 // compact dop — immediates widened, shift counts masked, context offsets
@@ -127,7 +221,7 @@ func isJump(op Op) bool {
 // pays its control-flow overhead once per block instead of once per
 // instruction. Constituents keep their original pc for error attribution
 // and each one still counts toward the retired-instruction total.
-func decode(p *Program, lookup func(fd int64) Map) error {
+func decode(p *Program, lookup func(fd int64) Map, hotThreshold uint64) error {
 	if !p.verified {
 		return fmt.Errorf("ebpf: decoding unverified program %q", p.Name)
 	}
@@ -142,6 +236,7 @@ func decode(p *Program, lookup func(fd int64) Map) error {
 			src:  uint8(in.Src) & regIdxMask,
 			size: in.Size,
 			pc:   int32(i),
+			w:    1,
 			imm:  uint64(in.Imm),
 		}
 		switch in.Op {
@@ -173,6 +268,7 @@ func decode(p *Program, lookup func(fd int64) Map) error {
 					return fmt.Errorf("ebpf: %q call at %d references unknown map fd %d", p.Name, i, fd)
 				}
 				c.m = m
+				c.hm, _ = m.(*HashMap)
 				if c.helper == HelperPerfOutput {
 					pb, ok := m.(*PerfBuffer)
 					if !ok {
@@ -190,34 +286,34 @@ func decode(p *Program, lookup func(fd int64) Map) error {
 	// Fuse straight-line runs. A run starts at a leader and extends over
 	// consecutive non-control instructions up to (excluding) the next
 	// jump, exit, or leader. Mid-run slots are unreachable (any jump into
-	// them would have made them leaders) and stay zeroed. Single
-	// instructions are wrapped too, so every reachable slot is a run, a
-	// jump, or exit, and the dispatch loop steers control flow only.
+	// them would have made them leaders) and stay zeroed — tier 1 compacts
+	// them away. Single instructions are wrapped too, so every reachable
+	// slot is a run, a jump, or exit, and the dispatch loop steers control
+	// flow only.
 	out := make([]dinsn, len(ops))
 	for start := 0; start < len(ops); start++ {
-		if !leader[start] {
+		o := ops[start]
+		if isJump(o.op) || o.op == OpExit {
+			out[start] = dinsn{op: o.op, dst: o.dst, src: o.src, tgt: o.tgt, imm: o.imm}
 			continue
+		}
+		if !leader[start] {
+			continue // mid-run slot; unreachable
 		}
 		end := start
 		for end < len(ops) && ops[end].op != OpExit && !isJump(ops[end].op) &&
 			(end == start || !leader[end]) {
 			end++
 		}
-		if end > start {
-			out[start] = dinsn{op: opRunFused, tgt: int32(end), run: ops[start:end:end]}
-		} else {
-			o := ops[start]
-			out[start] = dinsn{op: o.op, dst: o.dst, src: o.src, tgt: o.tgt, imm: o.imm}
-		}
-		// Jump and exit slots that terminate this block are leaders of
-		// nothing; fill them directly when reached as block starts.
+		out[start] = dinsn{op: opRunFused, tgt: int32(end), retire: int32(end - start),
+			run: ops[start:end:end]}
 	}
-	for i, o := range ops {
-		if isJump(o.op) || o.op == OpExit {
-			out[i] = dinsn{op: o.op, dst: o.dst, src: o.src, tgt: o.tgt, imm: o.imm}
-		}
-	}
-	p.decoded = out
-	p.dcalls = calls
+	p.dp.Store(&decodedProgram{
+		tier:         0,
+		insns:        out,
+		calls:        calls,
+		ops:          ops,
+		hotThreshold: hotThreshold,
+	})
 	return nil
 }

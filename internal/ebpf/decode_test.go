@@ -51,42 +51,60 @@ func (f *equivFixture) mapState() (hash map[uint64]uint64, arr []uint64, recs []
 	return hash, arr, recs
 }
 
-// runEquiv runs build twice — raw and decoded — against every ctx and
-// compares results and final map state.
+// runEquiv runs build three times — raw, tier-0 decoded, and tier-1
+// reoptimized — against every ctx and compares results and final map
+// state across all three dispatch forms.
 func runEquiv(t *testing.T, name string, build func() *Program, ctxWords int, ctxs []*ExecContext) {
 	t.Helper()
 	raw := newEquivFixture(t, build, ctxWords)
-	dec := newEquivFixture(t, build, ctxWords)
-	if err := decode(dec.prog, func(fd int64) Map { return dec.maps[fd] }); err != nil {
-		t.Fatalf("%s: decode: %v", name, err)
+	fixtures := map[string]*equivFixture{
+		"tier0": newEquivFixture(t, build, ctxWords),
+		"tier1": newEquivFixture(t, build, ctxWords),
 	}
-	if dec.prog.decoded == nil {
-		t.Fatalf("%s: program not decoded", name)
+	for tier, f := range fixtures {
+		maps := f.maps
+		if err := decode(f.prog, func(fd int64) Map { return maps[fd] }, 0); err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		dp := f.prog.dp.Load()
+		if dp == nil {
+			t.Fatalf("%s: program not decoded", name)
+		}
+		if tier == "tier1" {
+			f.prog.dp.Store(reoptimize(dp))
+			if f.prog.DecodeTier() != 1 {
+				t.Fatalf("%s: program not reoptimized", name)
+			}
+		}
 	}
 
 	rawVM := NewVM(raw.maps)
-	decVM := NewVM(dec.maps)
+	vms := map[string]*VM{"tier0": NewVM(fixtures["tier0"].maps), "tier1": NewVM(fixtures["tier1"].maps)}
 	for i, ctx := range ctxs {
-		ctx2 := *ctx // decoded run gets its own copy
 		rres, rerr := rawVM.RunInterpreted(raw.prog, ctx)
-		dres, derr := decVM.Run(dec.prog, &ctx2)
-		if (rerr == nil) != (derr == nil) {
-			t.Fatalf("%s ctx %d: raw err %v, decoded err %v", name, i, rerr, derr)
-		}
-		if rres != dres {
-			t.Fatalf("%s ctx %d: raw %+v, decoded %+v", name, i, rres, dres)
+		for tier, f := range fixtures {
+			ctx2 := *ctx // each decoded run gets its own copy
+			dres, derr := vms[tier].Run(f.prog, &ctx2)
+			if (rerr == nil) != (derr == nil) {
+				t.Fatalf("%s ctx %d: raw err %v, %s err %v", name, i, rerr, tier, derr)
+			}
+			if rres != dres {
+				t.Fatalf("%s ctx %d: raw %+v, %s %+v", name, i, rres, tier, dres)
+			}
 		}
 	}
 	rh, ra, rr := raw.mapState()
-	dh, da, dr := dec.mapState()
-	if !reflect.DeepEqual(rh, dh) {
-		t.Fatalf("%s: hash state diverged: raw %v, decoded %v", name, rh, dh)
-	}
-	if !reflect.DeepEqual(ra, da) {
-		t.Fatalf("%s: array state diverged: raw %v, decoded %v", name, ra, da)
-	}
-	if !reflect.DeepEqual(rr, dr) {
-		t.Fatalf("%s: perf records diverged: raw %v, decoded %v", name, rr, dr)
+	for tier, f := range fixtures {
+		dh, da, dr := f.mapState()
+		if !reflect.DeepEqual(rh, dh) {
+			t.Fatalf("%s: hash state diverged: raw %v, %s %v", name, rh, tier, dh)
+		}
+		if !reflect.DeepEqual(ra, da) {
+			t.Fatalf("%s: array state diverged: raw %v, %s %v", name, ra, tier, da)
+		}
+		if !reflect.DeepEqual(rr, dr) {
+			t.Fatalf("%s: perf records diverged: raw %v, %s %v", name, rr, tier, dr)
+		}
 	}
 }
 
@@ -220,11 +238,12 @@ func TestDecodedEquivalenceHelpers(t *testing.T) {
 // TestDecodeBindsMaps checks the decoder resolved every map call site.
 func TestDecodeBindsMaps(t *testing.T) {
 	f := newEquivFixture(t, helperProg, 2)
-	if err := decode(f.prog, func(fd int64) Map { return f.maps[fd] }); err != nil {
+	if err := decode(f.prog, func(fd int64) Map { return f.maps[fd] }, 0); err != nil {
 		t.Fatal(err)
 	}
+	calls := f.prog.dp.Load().calls
 	bound := 0
-	for _, c := range f.prog.dcalls {
+	for _, c := range calls {
 		if c.m != nil {
 			bound++
 		}
@@ -232,7 +251,7 @@ func TestDecodeBindsMaps(t *testing.T) {
 	if bound != 6 { // update, lookup, exist, delete, array lookup, perf output
 		t.Fatalf("bound %d map call sites, want 6", bound)
 	}
-	for i, c := range f.prog.dcalls {
+	for i, c := range calls {
 		if c.helper == HelperPerfOutput && c.pb == nil {
 			t.Fatalf("perf output call %d not bound to a perf buffer", i)
 		}
@@ -263,7 +282,7 @@ func TestRuntimeLoadDecodes(t *testing.T) {
 	if err := rt.Load(p, 1); err != nil {
 		t.Fatal(err)
 	}
-	if p.decoded == nil {
+	if p.DecodeTier() != 0 {
 		t.Fatal("Load did not decode the program")
 	}
 
@@ -272,7 +291,7 @@ func TestRuntimeLoadDecodes(t *testing.T) {
 	if err := rt2.Load(p2, 1); err != nil {
 		t.Fatal(err)
 	}
-	if p2.decoded != nil {
+	if p2.DecodeTier() != -1 {
 		t.Fatal("SetPredecode(false) still decoded the program")
 	}
 }

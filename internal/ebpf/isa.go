@@ -14,7 +14,10 @@
 // structures without instrumenting the libraries.
 package ebpf
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Reg is a VM register. R0 holds return values, R1–R5 are helper arguments
 // and are clobbered by calls, R6–R9 are callee-saved working registers, R10
@@ -165,17 +168,29 @@ type Program struct {
 	// address arithmetic, the way the kernel verifier rewrites memory
 	// instructions.
 	memLo []int32
-	// decoded is the pre-resolved dispatch form built by Runtime.Load:
-	// operands widened, jump targets absolute, map fds bound. Nil until a
-	// runtime decodes the program; the VM falls back to the raw
-	// interpreter in that case. dcalls holds the per-call-site helper and
-	// map bindings the decoded form indexes into.
-	decoded []dinsn
-	dcalls  []dcall
+	// dp points at the current pre-resolved dispatch form built by
+	// Runtime.Load (tier 0) or a later profile-guided reoptimization
+	// (tier 1): operands widened, jump targets absolute, map fds bound.
+	// Nil until a runtime decodes the program; the VM falls back to the
+	// raw interpreter in that case. The pointer is atomic so a tier swap
+	// never disturbs an in-flight fire: a run loads the form once and
+	// executes it to completion.
+	dp atomic.Pointer[decodedProgram]
 }
 
 // Verified reports whether the program has passed the verifier.
 func (p *Program) Verified() bool { return p.verified }
+
+// DecodeTier reports the program's current dispatch form: -1 when the
+// program has not been decoded (the VM interprets the raw instructions),
+// 0 for the load-time lowering, 1 for the profile-guided re-decode.
+func (p *Program) DecodeTier() int {
+	dp := p.dp.Load()
+	if dp == nil {
+		return -1
+	}
+	return dp.tier
+}
 
 // HelperID identifies a kernel helper callable from programs.
 type HelperID int64

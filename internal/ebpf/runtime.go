@@ -85,6 +85,11 @@ type Runtime struct {
 	// pre-resolved dispatch form (on by default; off forces the raw
 	// reference interpreter, for equivalence tests and benchmarks).
 	predecode bool
+	// hotThreshold is the tier-0 run count at which a loaded program is
+	// re-decoded into its profile-guided tier-1 form (0 disables the
+	// automatic promotion; Reoptimize still forces it). It applies to
+	// subsequent Load calls.
+	hotThreshold uint64
 	// fireCtx and fireWords are the per-runtime execution context and
 	// argument scratch reused across probe fires, so the hot dispatch
 	// path allocates nothing. The runtime is owned by one single-threaded
@@ -94,6 +99,14 @@ type Runtime struct {
 
 	nativeHooks  map[Symbol][]nativeAttachment
 	nativeCostNs float64
+
+	// Inline caches for the symbol-keyed Fire* entry points (see
+	// fireCache); invalidated by attachGen like the resolved sites.
+	upCache     fireCache
+	retCache    fireCache
+	tpCacheGen  uint64
+	tpCacheName string
+	tpCacheList []attachment
 }
 
 // NewRuntime creates a runtime. clock supplies virtual time; spaces maps a
@@ -109,9 +122,10 @@ func NewRuntime(clock func() int64, spaces func(pid uint32) *umem.Space) *Runtim
 		spaces:      spaces,
 		// ~4 ns per interpreted instruction: the order of magnitude of a
 		// JITed eBPF instruction plus map-helper amortization.
-		perInsnNs: 4,
-		predecode: true,
-		fireWords: make([]uint64, 0, MaxCtxWords),
+		perInsnNs:    4,
+		predecode:    true,
+		hotThreshold: DefaultHotThreshold(),
+		fireWords:    make([]uint64, 0, MaxCtxWords),
 	}
 	rt.vm = NewVM(rt.maps)
 	return rt
@@ -137,6 +151,23 @@ func (rt *Runtime) MapByFD(fd int64) Map { return rt.maps[fd] }
 // run through the raw reference interpreter.
 func (rt *Runtime) SetPredecode(on bool) { rt.predecode = on }
 
+// SetHotThreshold sets the tier-0 run count at which subsequently loaded
+// programs are automatically re-decoded into their profile-guided tier-1
+// form. 0 disables automatic promotion (Reoptimize still forces it).
+func (rt *Runtime) SetHotThreshold(n uint64) { rt.hotThreshold = n }
+
+// Reoptimize forces the profile-guided tier-1 re-decode of a loaded
+// program immediately, without waiting for the hotness threshold. The
+// swap is atomic with respect to in-flight fires: a fire that already
+// loaded the tier-0 form completes on it, the next one dispatches over
+// the tier-1 form. Reoptimizing an undecoded or already tier-1 program
+// is a no-op.
+func (rt *Runtime) Reoptimize(p *Program) {
+	if dp := p.dp.Load(); dp != nil && dp.tier == 0 {
+		p.dp.Store(reoptimize(dp))
+	}
+}
+
 // Load verifies p for an attach point exposing ctxWords context words and,
 // unless predecoding is disabled, lowers it into the pre-resolved dispatch
 // form bound to this runtime's maps. It must be called before Attach.
@@ -150,7 +181,7 @@ func (rt *Runtime) Load(p *Program, ctxWords int) error {
 		return err
 	}
 	if rt.predecode {
-		return decode(p, rt.MapByFD)
+		return decode(p, rt.MapByFD, rt.hotThreshold)
 	}
 	return nil
 }
@@ -398,29 +429,62 @@ func (s *TracepointSite) Fire(cpu int, fields ...uint64) {
 	}
 }
 
+// fireCache is a one-entry inline cache for the symbol-keyed Fire*
+// entry points: repeated fires at the same probe location skip the
+// string-hashed map lookup, validated by the same attachment generation
+// the pre-resolved sites use. The middleware fires through ProbeSites;
+// this covers callers of the legacy per-symbol API.
+type fireCache struct {
+	gen    uint64
+	sym    Symbol
+	list   []attachment
+	native []nativeAttachment
+}
+
+func (c *fireCache) refresh(rt *Runtime, sym Symbol, m map[Symbol][]attachment, withNative bool) {
+	c.gen, c.sym = rt.attachGen, sym
+	c.list = m[sym]
+	c.native = nil
+	if withNative {
+		c.native = rt.nativeHooks[sym]
+	}
+}
+
 // FireUprobe is called by the simulated middleware at a function's entry.
 // args become ctx words 0..n-1.
 func (rt *Runtime) FireUprobe(pid uint32, cpu int, sym Symbol, args ...uint64) {
-	if list := rt.uprobes[sym]; len(list) > 0 {
-		rt.run(list, rt.execCtx(pid, cpu, false, 0, args))
+	c := &rt.upCache
+	if c.gen != rt.attachGen || c.sym != sym {
+		c.refresh(rt, sym, rt.uprobes, true)
 	}
-	if len(rt.nativeHooks[sym]) > 0 {
-		rt.runNative(sym, rt.execCtx(pid, cpu, false, 0, args))
+	if len(c.list) > 0 {
+		rt.run(c.list, rt.execCtx(pid, cpu, false, 0, args))
+	}
+	if len(c.native) > 0 {
+		rt.runNativeList(c.native, rt.execCtx(pid, cpu, false, 0, args))
 	}
 }
 
 // FireUretprobe is called at a function's return; ret becomes ctx word 0
 // and the entry args follow in words 1..n.
 func (rt *Runtime) FireUretprobe(pid uint32, cpu int, sym Symbol, ret uint64, args ...uint64) {
-	if list := rt.uretprobes[sym]; len(list) > 0 {
-		rt.run(list, rt.execCtx(pid, cpu, true, ret, args))
+	c := &rt.retCache
+	if c.gen != rt.attachGen || c.sym != sym {
+		c.refresh(rt, sym, rt.uretprobes, false)
+	}
+	if len(c.list) > 0 {
+		rt.run(c.list, rt.execCtx(pid, cpu, true, ret, args))
 	}
 }
 
 // FireTracepoint is called by the simulated kernel; fields are the
 // tracepoint's record in declaration order.
 func (rt *Runtime) FireTracepoint(name string, cpu int, fields ...uint64) {
-	if list := rt.tracepoints[name]; len(list) > 0 {
+	if rt.tpCacheGen != rt.attachGen || rt.tpCacheName != name {
+		rt.tpCacheGen, rt.tpCacheName = rt.attachGen, name
+		rt.tpCacheList = rt.tracepoints[name]
+	}
+	if list := rt.tpCacheList; len(list) > 0 {
 		rt.run(list, rt.execCtx(0, cpu, false, 0, fields))
 	}
 }
@@ -483,10 +547,6 @@ func (rt *Runtime) NativeCostNs() float64 { return rt.nativeCostNs }
 type nativeAttachment struct {
 	hook NativeHook
 	id   int
-}
-
-func (rt *Runtime) runNative(sym Symbol, ctx *ExecContext) {
-	rt.runNativeList(rt.nativeHooks[sym], ctx)
 }
 
 func (rt *Runtime) runNativeList(list []nativeAttachment, ctx *ExecContext) {

@@ -1,0 +1,572 @@
+package ebpf
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/tracesynth/rostracer/internal/sim"
+)
+
+// tier1Program verifies build's program against the fixture maps,
+// decodes it, and promotes it to tier 1.
+func tier1Fixture(t *testing.T, build func() *Program, ctxWords int) *equivFixture {
+	t.Helper()
+	f := newEquivFixture(t, build, ctxWords)
+	maps := f.maps
+	if err := decode(f.prog, func(fd int64) Map { return maps[fd] }, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.prog.dp.Store(reoptimize(f.prog.dp.Load()))
+	return f
+}
+
+// allOps flattens every fused run of the current dispatch form.
+func allOps(p *Program) []dop {
+	dp := p.dp.Load()
+	var out []dop
+	for _, in := range dp.insns {
+		out = append(out, in.run...)
+	}
+	return out
+}
+
+func countOp(ops []dop, op Op) int {
+	n := 0
+	for _, d := range ops {
+		if d.op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func findOp(t *testing.T, ops []dop, op Op) dop {
+	t.Helper()
+	for _, d := range ops {
+		if d.op == op {
+			return d
+		}
+	}
+	t.Fatalf("pattern op %d not produced", op)
+	return dop{}
+}
+
+// emitterProg is a plainProg-shaped tracer program: record header via
+// helper calls, an immediate ladder, and a perf_event_output epilogue.
+func emitterProg() *Program {
+	return NewAssembler("emitter").
+		StImmStack(R10, -64, 77, 8). // kind
+		Call(HelperGetCurrentPid).
+		StxStack(R10, -56, R0, 8).
+		Call(HelperKtimeGetNs).
+		StxStack(R10, -48, R0, 8).
+		StImmStack(R10, -40, 1, 8). // ladder: 3 contiguous immediates
+		StImmStack(R10, -32, 2, 8).
+		StImmStack(R10, -24, 3, 8).
+		MovImm(R1, 4). // perf fd
+		MovReg(R2, R10).
+		AddImm(R2, -64).
+		MovImm(R3, 48).
+		Call(HelperPerfOutput).
+		MovImm(R0, 0).
+		Exit().
+		MustAssemble()
+}
+
+// mapLadderProg exercises every fused map-call shape plus result
+// forwarding and the double context load.
+func mapLadderProg() *Program {
+	return NewAssembler("map_ladder").
+		LdxCtx(R6, R1, 0).
+		LdxCtx(R7, R1, 1).
+		// update: reg key, imm value
+		MovImm(R1, 3).
+		MovReg(R2, R6).
+		MovImm(R3, 1).
+		Call(HelperMapUpdate).
+		// update: reg key, reg value
+		MovImm(R1, 3).
+		MovReg(R2, R6).
+		MovReg(R3, R7).
+		Call(HelperMapUpdate).
+		// lookup: reg key, forwarded result
+		MovImm(R1, 3).
+		MovReg(R2, R6).
+		Call(HelperMapLookup).
+		MovReg(R8, R0).
+		// exist: imm key, accumulated result
+		MovImm(R1, 3).
+		MovImm(R2, 99).
+		Call(HelperMapLookupExist).
+		AddReg(R8, R0).
+		// delete: reg key
+		MovImm(R1, 3).
+		MovReg(R2, R6).
+		Call(HelperMapDelete).
+		// time accumulated into R8
+		Call(HelperKtimeGetNs).
+		AddReg(R8, R0).
+		MovReg(R0, R8).
+		Exit().
+		MustAssemble()
+}
+
+// probeProg exercises the fused probe_read / probe_read_str patterns.
+func probeProg() *Program {
+	return NewAssembler("probe").
+		LdxCtx(R6, R1, 0).
+		MovReg(R1, R10).
+		SubImm(R1, 16).
+		MovImm(R2, 8).
+		MovReg(R3, R6).
+		Call(HelperProbeRead).
+		MovReg(R7, R0). // forwarded fault flag
+		MovReg(R1, R10).
+		SubImm(R1, 48).
+		MovImm(R2, 32).
+		MovReg(R3, R6).
+		Call(HelperProbeReadStr).
+		AddReg(R7, R0).
+		MovReg(R0, R7).
+		Exit().
+		MustAssemble()
+}
+
+// TestTier1PatternLowering is the decode-table test for every tier-1
+// pattern op: each construct the tracers rely on lowers to its dedicated
+// superinstruction, with the retire weights covering the whole program.
+func TestTier1PatternLowering(t *testing.T) {
+	cases := []struct {
+		name     string
+		build    func() *Program
+		ctxWords int
+		want     map[Op]int // op -> minimum count
+	}{
+		{"emitter", emitterProg, 1, map[Op]int{
+			opPidToStack:  1,
+			opTimeToStack: 1,
+			opStoreRunImm: 1,
+			opEmitRecord:  1,
+		}},
+		{"map_ladder", mapLadderProg, 2, map[Op]int{
+			opLdxCtx2:       1,
+			opMapUpdateFast: 2,
+			opMapLookupFast: 1,
+			opMapExistFast:  1,
+			opMapDeleteFast: 1,
+			opCallTime:      1,
+		}},
+		{"probe", probeProg, 1, map[Op]int{
+			opProbeReadFast:    1,
+			opProbeReadStrFast: 1,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := tier1Fixture(t, tc.build, tc.ctxWords)
+			ops := allOps(f.prog)
+			for op, min := range tc.want {
+				if got := countOp(ops, op); got < min {
+					t.Errorf("want >=%d of pattern op %d, got %d (ops: %+v)", min, op, got, ops)
+				}
+			}
+			// Retire weights must cover the whole program, slot for slot.
+			dp := f.prog.dp.Load()
+			total := 0
+			for _, in := range dp.insns {
+				if in.op == opRunFused || in.op == opRunExit {
+					total += int(in.retire)
+					w := 0
+					for _, d := range in.run {
+						w += int(d.w)
+					}
+					extra := int(in.retire) - w // threaded Ja + folded exit
+					if extra < 0 {
+						t.Errorf("run retire %d below op weights %d", in.retire, w)
+					}
+				} else {
+					total++
+				}
+			}
+			if total != len(f.prog.Insns) {
+				t.Errorf("retire accounting covers %d insns, program has %d", total, len(f.prog.Insns))
+			}
+		})
+	}
+}
+
+// TestTier1PatternDetails pins the operand encoding of the key patterns.
+func TestTier1PatternDetails(t *testing.T) {
+	f := tier1Fixture(t, emitterProg, 1)
+	ops := allOps(f.prog)
+
+	emit := findOp(t, ops, opEmitRecord)
+	if base, size := emit.imm>>32, uint32(emit.imm); base != StackSize-64 || size != 48 {
+		t.Fatalf("opEmitRecord range = (%d,%d), want (%d,48)", base, size, StackSize-64)
+	}
+	if emit.w != 5 { // 3 movs (one folded from mov+add) + call
+		t.Fatalf("opEmitRecord weight = %d, want 5", emit.w)
+	}
+
+	ladder := findOp(t, ops, opStoreRunImm)
+	dp := f.prog.dp.Load()
+	tmpl := dp.templates[ladder.imm]
+	want := make([]byte, 24)
+	want[0], want[8], want[16] = 1, 2, 3
+	if !bytes.Equal(tmpl, want) {
+		t.Fatalf("ladder template = %v, want %v", tmpl, want)
+	}
+	if ladder.tgt != StackSize-40 {
+		t.Fatalf("ladder base = %d, want %d", ladder.tgt, StackSize-40)
+	}
+
+	// The single-slot program folds its exit into the run.
+	if len(dp.insns) != 1 || dp.insns[0].op != opRunExit {
+		t.Fatalf("emitter should compact to one opRunExit slot, got %d slots (op %d)",
+			len(dp.insns), dp.insns[0].op)
+	}
+
+	f2 := tier1Fixture(t, mapLadderProg, 2)
+	ops2 := allOps(f2.prog)
+	look := findOp(t, ops2, opMapLookupFast)
+	if look.dst != uint8(R8) || look.size&resFwdAdd != 0 {
+		t.Fatalf("lookup result not copy-forwarded to r8: %+v", look)
+	}
+	exist := findOp(t, ops2, opMapExistFast)
+	if exist.size&mapKeyImm == 0 || exist.imm != 99 || exist.size&resFwdAdd == 0 || exist.dst != uint8(R8) {
+		t.Fatalf("exist not fused as imm-key add-forward: %+v", exist)
+	}
+	ktime := findOp(t, ops2, opCallTime)
+	if ktime.size&resFwdAdd == 0 || ktime.dst != uint8(R8) {
+		t.Fatalf("ktime result not add-forwarded: %+v", ktime)
+	}
+}
+
+// TestTier1Equivalence runs the pattern-heavy programs through all three
+// dispatch forms (the shared runEquiv helper) over a spread of contexts.
+func TestTier1Equivalence(t *testing.T) {
+	sp, addr := equivSpace()
+	runEquiv(t, "emitter", emitterProg, 1, []*ExecContext{
+		{PID: 9, CPU: 1, NowNs: 100, Words: []uint64{5}},
+		{PID: 10, CPU: 0, NowNs: 200, Words: []uint64{0}},
+	})
+	runEquiv(t, "map_ladder", mapLadderProg, 2, []*ExecContext{
+		{PID: 1, NowNs: 10, Words: []uint64{7, 70}},
+		{PID: 2, NowNs: 20, Words: []uint64{99, 1}},
+		{PID: 3, NowNs: 30, Words: []uint64{7, 2}},
+	})
+	runEquiv(t, "probe", probeProg, 1, []*ExecContext{
+		{PID: 1, NowNs: 1, Words: []uint64{addr}, Mem: sp},
+		{PID: 2, NowNs: 2, Words: []uint64{0xdead_0000}, Mem: sp}, // faulting address
+		{PID: 3, NowNs: 3, Words: []uint64{addr}},                // nil Mem
+	})
+}
+
+// TestTier1GuardFallback corrupts tier-1 pattern guards in place and
+// demands the run still produce tier-0-identical results through the
+// per-pattern fallback to the original instruction range.
+func TestTier1GuardFallback(t *testing.T) {
+	ctx := func() *ExecContext {
+		return &ExecContext{PID: 4, CPU: 1, NowNs: 44, Words: []uint64{3}}
+	}
+	ref := newEquivFixture(t, emitterProg, 1)
+	refRes, err := NewVM(ref.maps).RunInterpreted(ref.prog, ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := []struct {
+		name    string
+		op      Op
+		corrupt func(d *dop)
+	}{
+		{"emit_base_oob", opEmitRecord, func(d *dop) { d.imm = uint64(StackSize) << 32 }},
+		{"ladder_bad_template", opStoreRunImm, func(d *dop) { d.imm = 999 }},
+		{"ladder_base_oob", opStoreRunImm, func(d *dop) { d.tgt = StackSize - 1 }},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			f := tier1Fixture(t, emitterProg, 1)
+			dp := f.prog.dp.Load()
+			found := false
+			for si := range dp.insns {
+				for oi := range dp.insns[si].run {
+					if dp.insns[si].run[oi].op == tc.op {
+						tc.corrupt(&dp.insns[si].run[oi])
+						found = true
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("pattern op %d not present to corrupt", tc.op)
+			}
+			res, err := NewVM(f.maps).Run(f.prog, ctx())
+			if err != nil {
+				t.Fatalf("guard fallback errored: %v", err)
+			}
+			if res != refRes {
+				t.Fatalf("fallback result %+v, want %+v", res, refRes)
+			}
+			rh, ra, rr := ref.mapState()
+			fh, fa, fr := f.mapState()
+			if !reflect.DeepEqual(rh, fh) || !reflect.DeepEqual(ra, fa) || !reflect.DeepEqual(rr, fr) {
+				t.Fatal("map/perf state diverged through guard fallback")
+			}
+			// Re-prime the reference state consumed by mapState's Drain.
+			ref = newEquivFixture(t, emitterProg, 1)
+			if refRes, err = NewVM(ref.maps).RunInterpreted(ref.prog, ctx()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// branchyProg returns a program whose two branch bodies are selected by
+// ctx word 0, for profile-ordering tests.
+func branchyProg() *Program {
+	return NewAssembler("branchy").
+		LdxCtx(R6, R1, 0).
+		JgtImm(R6, 10, "big").
+		MovImm(R0, 1).
+		Ja("end").
+		Label("big").
+		MovImm(R0, 2).
+		Label("end").
+		Exit().
+		MustAssemble()
+}
+
+// TestTier1BlockReorderCompacts checks that the tier-1 layout is dense
+// (no unreachable zero slots), orders the profiled-hot block ahead of
+// the cold one, threads the unconditional jump, and still computes the
+// same results.
+func TestTier1BlockReorderCompacts(t *testing.T) {
+	rt := NewRuntime(func() int64 { return 1 }, nil)
+	rt.SetHotThreshold(0)
+	p := branchyProg()
+	if err := rt.Load(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	sym := Symbol{Lib: "l", Func: "f"}
+	if _, err := rt.AttachUprobe(sym, p); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		rt.FireUprobe(1, 0, sym, 100) // hot path: the "big" block
+	}
+	rt.FireUprobe(1, 0, sym, 0) // cold path once
+
+	tier0Slots := len(p.dp.Load().insns)
+	rt.Reoptimize(p)
+	dp := p.dp.Load()
+	if dp.tier != 1 {
+		t.Fatal("Reoptimize did not produce tier 1")
+	}
+	if len(dp.insns) >= tier0Slots {
+		t.Fatalf("tier-1 layout not compacted: %d slots, tier-0 had %d", len(dp.insns), tier0Slots)
+	}
+	for i, in := range dp.insns {
+		if in.op == OpInvalid {
+			t.Fatalf("tier-1 slot %d is a zero slot", i)
+		}
+	}
+	// Hot block (MovImm R0, 2) must be ordered directly after the entry
+	// chain, ahead of the cold block.
+	hotAt, coldAt := -1, -1
+	for i, in := range dp.insns {
+		for _, d := range in.run {
+			if d.op == OpMovImm && d.dst == uint8(R0) {
+				if d.imm == 2 {
+					hotAt = i
+				}
+				if d.imm == 1 {
+					coldAt = i
+				}
+			}
+		}
+	}
+	if hotAt < 0 || coldAt < 0 || hotAt > coldAt {
+		t.Fatalf("hot block at %d, cold at %d; want hot first", hotAt, coldAt)
+	}
+	// Both paths still compute the same results as the raw interpreter.
+	vm := NewVM(nil)
+	for _, w := range []uint64{0, 5, 11, 100} {
+		raw, err := vm.RunInterpreted(p, &ExecContext{Words: []uint64{w}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := vm.Run(p, &ExecContext{Words: []uint64{w}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raw != got {
+			t.Fatalf("word %d: tier-1 %+v, raw %+v", w, got, raw)
+		}
+	}
+}
+
+// TestAutoReoptimizeThreshold checks the profile-driven promotion: a
+// program crosses the configured run count and swaps to tier 1; a zero
+// threshold pins it to tier 0 until an explicit Reoptimize.
+func TestAutoReoptimizeThreshold(t *testing.T) {
+	build := func(threshold uint64) (*Runtime, *Program, Symbol) {
+		rt := NewRuntime(func() int64 { return 1 }, nil)
+		rt.SetHotThreshold(threshold)
+		p := branchyProg()
+		if err := rt.Load(p, 1); err != nil {
+			t.Fatal(err)
+		}
+		sym := Symbol{Lib: "l", Func: "f"}
+		if _, err := rt.AttachUprobe(sym, p); err != nil {
+			t.Fatal(err)
+		}
+		return rt, p, sym
+	}
+
+	rt, p, sym := build(8)
+	for i := 0; i < 7; i++ {
+		rt.FireUprobe(1, 0, sym, uint64(i))
+	}
+	if got := p.DecodeTier(); got != 0 {
+		t.Fatalf("tier %d before threshold, want 0", got)
+	}
+	rt.FireUprobe(1, 0, sym, 7)
+	if got := p.DecodeTier(); got != 1 {
+		t.Fatalf("tier %d after threshold, want 1", got)
+	}
+
+	rt0, p0, sym0 := build(0)
+	for i := 0; i < 100; i++ {
+		rt0.FireUprobe(1, 0, sym0, uint64(i))
+	}
+	if got := p0.DecodeTier(); got != 0 {
+		t.Fatalf("tier %d with disabled threshold, want 0", got)
+	}
+	rt0.Reoptimize(p0)
+	if got := p0.DecodeTier(); got != 1 {
+		t.Fatalf("tier %d after explicit Reoptimize, want 1", got)
+	}
+	rt0.Reoptimize(p0) // idempotent on tier 1
+	if got := p0.DecodeTier(); got != 1 {
+		t.Fatalf("tier %d after double Reoptimize, want 1", got)
+	}
+}
+
+// TestTier1ProfileCounters checks the tier-0 profile the re-decode
+// consumes: run-slot hit counts accumulate per entered block.
+func TestTier1ProfileCounters(t *testing.T) {
+	rt := NewRuntime(func() int64 { return 1 }, nil)
+	rt.SetHotThreshold(0)
+	p := branchyProg()
+	if err := rt.Load(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	sym := Symbol{Lib: "l", Func: "f"}
+	if _, err := rt.AttachUprobe(sym, p); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		rt.FireUprobe(1, 0, sym, 100)
+	}
+	for i := 0; i < 3; i++ {
+		rt.FireUprobe(1, 0, sym, 0)
+	}
+	dp := p.dp.Load()
+	if dp.runs != 13 {
+		t.Fatalf("program runs = %d, want 13", dp.runs)
+	}
+	var hot, cold uint64
+	for _, in := range dp.insns {
+		for _, d := range in.run {
+			if d.op == OpMovImm && d.dst == uint8(R0) && d.imm == 2 {
+				hot = in.hits
+			}
+			if d.op == OpMovImm && d.dst == uint8(R0) && d.imm == 1 {
+				cold = in.hits
+			}
+		}
+	}
+	if hot != 10 || cold != 3 {
+		t.Fatalf("block hits hot=%d cold=%d, want 10/3", hot, cold)
+	}
+}
+
+// FuzzTier1Equivalence drives the random-program generator from fuzz
+// input and demands that any program the verifier accepts produces
+// identical results, map contents, and perf records through the raw
+// interpreter, the tier-0 decode, and the tier-1 re-decode.
+func FuzzTier1Equivalence(f *testing.F) {
+	f.Add(uint64(10), uint64(7), uint64(40))
+	f.Add(uint64(12), uint64(0), uint64(1))
+	f.Add(uint64(22), uint64(1<<40), uint64(3))
+	f.Add(uint64(33), uint64(3), uint64(512))
+	f.Add(uint64(94), uint64(1), uint64(2))
+	f.Fuzz(func(t *testing.T, seed, w0, w1 uint64) {
+		rng := sim.NewRNG(seed)
+		p := randomProgram(rng)
+
+		type world struct {
+			hash *HashMap
+			pb   *PerfBuffer
+			maps map[int64]Map
+			prog *Program
+		}
+		mkWorld := func() *world {
+			w := &world{hash: NewHashMap("h", 64), pb: NewPerfBuffer("p", 0)}
+			w.maps = map[int64]Map{1: w.hash, 2: w.pb}
+			w.prog = &Program{Name: p.Name, Insns: p.Insns}
+			w.hash.Update(3, 33)
+			return w
+		}
+		worlds := []*world{mkWorld(), mkWorld(), mkWorld()} // raw, tier0, tier1
+		for _, w := range worlds {
+			maps := w.maps
+			if err := Verify(w.prog, VerifyOptions{CtxWords: 4, LookupMap: func(fd int64) Map { return maps[fd] }}); err != nil {
+				t.Skip() // rejected programs have no behavior to compare
+			}
+		}
+		for i, w := range worlds[1:] {
+			maps := w.maps
+			if err := decode(w.prog, func(fd int64) Map { return maps[fd] }, 0); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if i == 1 {
+				w.prog.dp.Store(reoptimize(w.prog.dp.Load()))
+			}
+		}
+
+		ctx := func() *ExecContext {
+			return &ExecContext{PID: 7, CPU: 1, NowNs: 1234,
+				Words: []uint64{w0, w1, w0 % 97, w1 ^ w0}}
+		}
+		rres, rerr := NewVM(worlds[0].maps).RunInterpreted(worlds[0].prog, ctx())
+		for i, w := range worlds[1:] {
+			res, err := NewVM(w.maps).Run(w.prog, ctx())
+			if (rerr == nil) != (err == nil) {
+				t.Fatalf("tier%d error %v, raw error %v\nprogram: %v", i, err, rerr, p.Insns)
+			}
+			if res != rres {
+				t.Fatalf("tier%d result %+v, raw %+v\nprogram: %v", i, res, rres, p.Insns)
+			}
+		}
+		state := func(w *world) (map[uint64]uint64, []PerfRecord) {
+			h := map[uint64]uint64{}
+			for _, k := range w.hash.Keys() {
+				v, _ := w.hash.Lookup(k)
+				h[k] = v
+			}
+			return h, w.pb.Drain()
+		}
+		rh, rr := state(worlds[0])
+		for i, w := range worlds[1:] {
+			h, recs := state(w)
+			if !reflect.DeepEqual(rh, h) {
+				t.Fatalf("tier%d hash state %v, raw %v\nprogram: %v", i, h, rh, p.Insns)
+			}
+			if !reflect.DeepEqual(rr, recs) {
+				t.Fatalf("tier%d perf records %v, raw %v\nprogram: %v", i, recs, rr, p.Insns)
+			}
+		}
+	})
+}

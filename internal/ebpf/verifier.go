@@ -128,7 +128,7 @@ func Verify(p *Program, opts VerifyOptions) error {
 	v := &verifier{prog: p, ctxWords: opts.CtxWords, maps: opts.LookupMap,
 		states: make([]*absState, len(p.Insns))}
 
-	p.decoded = nil
+	p.dp.Store(nil)
 	p.callMapFD = make([]int64, len(p.Insns))
 	p.memLo = make([]int32, len(p.Insns))
 	for i := range p.callMapFD {

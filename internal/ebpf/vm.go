@@ -29,6 +29,11 @@ type VM struct {
 	// bytes they did not first write, exactly the argument the kernel
 	// uses to hand programs an uninitialized frame.
 	stack [StackSize]byte
+	// regs is the decoded-dispatch register file, reused without
+	// re-zeroing by the same argument: the verifier rejects reads of
+	// uninitialized registers, so stale values are unobservable. Only R10
+	// is re-seeded per run.
+	regs [decodedRegs]uint64
 }
 
 // NewVM returns an interpreter using the given fd table.
@@ -46,22 +51,36 @@ type ExecResult struct {
 // time dispatch over the pre-resolved form; others fall back to the raw
 // reference interpreter.
 func (vm *VM) Run(p *Program, ctx *ExecContext) (ExecResult, error) {
-	if p.decoded != nil {
-		return vm.runDecoded(p, ctx)
+	if dp := p.dp.Load(); dp != nil {
+		return vm.runDecoded(p, dp, ctx)
 	}
 	return vm.RunInterpreted(p, ctx)
 }
 
-// runDecoded is the hot dispatch loop over the load-time pre-resolved
-// form. Every reachable slot is a fused straight-line run, a jump, or
-// exit, so the outer loop only steers control flow; execRun retires the
-// straight-line work.
-func (vm *VM) runDecoded(p *Program, ctx *ExecContext) (ExecResult, error) {
-	var regs [decodedRegs]uint64
+// runDecoded is the hot dispatch loop over the pre-resolved form. Every
+// reachable slot is a fused straight-line run, a jump, or exit, so the
+// outer loop only steers control flow; execRun retires the straight-line
+// work. While the program is in tier 0 the loop also maintains the
+// profile — a program-entry count and a per-run-slot hit count — and
+// swaps in the tier-1 re-decode once the program crosses its hotness
+// threshold. The swap is a single atomic store; this run keeps executing
+// the form it loaded, the next fire picks up the new one.
+func (vm *VM) runDecoded(p *Program, dp *decodedProgram, ctx *ExecContext) (ExecResult, error) {
+	profiling := dp.tier == 0
+	if profiling {
+		dp.runs++
+		if dp.hotThreshold != 0 && dp.runs >= dp.hotThreshold {
+			ndp := reoptimize(dp)
+			p.dp.Store(ndp)
+			dp = ndp
+			profiling = false
+		}
+	}
+	regs := &vm.regs
 	stack := vm.stack[:]
 	regs[R10] = StackSize
 
-	code := p.decoded
+	code := dp.insns
 	insns := 0
 	pc := 0
 	for {
@@ -75,12 +94,25 @@ func (vm *VM) runDecoded(p *Program, ctx *ExecContext) (ExecResult, error) {
 		}
 		switch in.op {
 		case opRunFused:
-			insns += len(in.run) - 1 // each constituent retires; the run itself is not an insn
-			if err := vm.execRun(in.run, p.dcalls, &regs, stack, ctx); err != nil {
+			// The block-hit profile only feeds the tier-1 re-decode;
+			// promoted forms skip the write so their slots stay read-only
+			// on the steady-state path.
+			if profiling {
+				in.hits++
+			}
+			insns += int(in.retire) - 1 // each constituent retires; the run itself is not an insn
+			if err := vm.execRun(in.run, dp, regs, stack, ctx); err != nil {
 				return ExecResult{}, fmt.Errorf("ebpf: %q: %w", p.Name, err)
 			}
 			pc = int(in.tgt)
 			continue
+
+		case opRunExit:
+			insns += int(in.retire) - 1 // includes the folded exit
+			if err := vm.execRun(in.run, dp, regs, stack, ctx); err != nil {
+				return ExecResult{}, fmt.Errorf("ebpf: %q: %w", p.Name, err)
+			}
+			return ExecResult{R0: regs[R0], Insns: insns}, nil
 
 		case OpJa:
 			pc = int(in.tgt)
@@ -162,7 +194,12 @@ func (vm *VM) runDecoded(p *Program, ctx *ExecContext) (ExecResult, error) {
 // always falls through the whole run (helpers report faults through R0,
 // not errors; stack bounds were proven by the verifier — the checks here
 // are defensive).
-func (vm *VM) execRun(run []dop, calls []dcall, regs *[decodedRegs]uint64, stack []byte, ctx *ExecContext) error {
+//
+// Tier-1 pattern superinstructions each cover a contiguous range of
+// original instructions ops[pc:pc+w]; when a pattern's runtime guard
+// fails the constituent tier-0 ops execute instead (execFallback), so a
+// guard failure degrades to tier-0 semantics rather than an error.
+func (vm *VM) execRun(run []dop, dp *decodedProgram, regs *[decodedRegs]uint64, stack []byte, ctx *ExecContext) error {
 	for i := range run {
 		in := &run[i]
 		switch in.op {
@@ -268,15 +305,258 @@ func (vm *VM) execRun(run []dop, calls []dcall, regs *[decodedRegs]uint64, stack
 			storeSized(stack[idx:], in.size, in.imm)
 
 		case OpCall:
-			if err := vm.callDecoded(&calls[in.tgt], regs, stack, ctx); err != nil {
+			if err := vm.callDecoded(&dp.calls[in.tgt], regs, stack, ctx); err != nil {
 				return fmt.Errorf("pc %d: %w", in.pc, err)
+			}
+
+		// --- tier-1 pattern superinstructions ---
+		//
+		// Ops that produce a helper result in R0 support result
+		// forwarding: an absorbed "rd = R0" / "rd += R0" successor lands
+		// in dst (dst = R0 encodes no forwarding — the copy is then the
+		// identity store the op performs anyway, so the fast path stays
+		// branch-light).
+
+		case opCallTime:
+			v := uint64(ctx.NowNs)
+			regs[R0] = v
+			if in.size&resFwdAdd == 0 {
+				regs[in.dst&regIdxMask] = v
+			} else {
+				regs[in.dst&regIdxMask] += v
+			}
+		case opCallPid:
+			v := uint64(ctx.PID)
+			regs[R0] = v
+			if in.size&resFwdAdd == 0 {
+				regs[in.dst&regIdxMask] = v
+			} else {
+				regs[in.dst&regIdxMask] += v
+			}
+		case opCallCPU:
+			v := uint64(ctx.CPU)
+			regs[R0] = v
+			if in.size&resFwdAdd == 0 {
+				regs[in.dst&regIdxMask] = v
+			} else {
+				regs[in.dst&regIdxMask] += v
+			}
+
+		case opLdxCtx2:
+			words := ctx.Words
+			var v1, v2 uint64
+			if w := int(in.tgt); w >= 0 && w < len(words) {
+				v1 = words[w]
+			}
+			if w := int(in.imm); w >= 0 && w < len(words) {
+				v2 = words[w]
+			}
+			regs[in.dst&regIdxMask] = v1
+			regs[in.src&regIdxMask] = v2
+
+		case opTimeToStack:
+			if int(in.tgt)+8 > StackSize {
+				goto fallback
+			}
+			regs[R0] = uint64(ctx.NowNs)
+			binary.LittleEndian.PutUint64(stack[in.tgt:], regs[R0])
+		case opPidToStack:
+			if int(in.tgt)+8 > StackSize {
+				goto fallback
+			}
+			regs[R0] = uint64(ctx.PID)
+			binary.LittleEndian.PutUint64(stack[in.tgt:], regs[R0])
+		case opCPUToStack:
+			if int(in.tgt)+8 > StackSize {
+				goto fallback
+			}
+			regs[R0] = uint64(ctx.CPU)
+			binary.LittleEndian.PutUint64(stack[in.tgt:], regs[R0])
+
+		case opCtxToStack:
+			if int(in.tgt)+8 > StackSize {
+				goto fallback
+			}
+			var v uint64
+			if w := int(in.imm); w >= 0 && w < len(ctx.Words) {
+				v = ctx.Words[w]
+			}
+			regs[in.dst&regIdxMask] = v
+			binary.LittleEndian.PutUint64(stack[in.tgt:], v)
+
+		case opStoreRunImm:
+			ti := int(in.imm)
+			if ti >= len(dp.templates) {
+				goto fallback
+			}
+			t := dp.templates[ti]
+			if int(in.tgt)+len(t) > StackSize {
+				goto fallback
+			}
+			copy(stack[in.tgt:], t)
+
+		case opEmitRecord:
+			c := &dp.calls[in.tgt]
+			base, size := int(in.imm>>32), int(uint32(in.imm))
+			if c.pb == nil || base < 0 || size <= 0 || base+size > StackSize {
+				goto fallback
+			}
+			c.pb.Emit(ctx.CPU, ctx.NowNs, stack[base:base+size])
+			regs[R0] = 0
+
+		case opMapLookupFast:
+			c := &dp.calls[in.tgt]
+			key := regs[in.src&regIdxMask]
+			if in.size&mapKeyImm != 0 {
+				key = in.imm
+			}
+			var v uint64
+			if c.hm != nil {
+				v, _ = c.hm.Lookup(key)
+			} else if c.m != nil {
+				v, _ = c.m.Lookup(key)
+			} else {
+				goto fallback
+			}
+			regs[R0] = v
+			if in.size&resFwdAdd == 0 {
+				regs[in.dst&regIdxMask] = v
+			} else {
+				regs[in.dst&regIdxMask] += v
+			}
+
+		case opMapExistFast:
+			c := &dp.calls[in.tgt]
+			key := regs[in.src&regIdxMask]
+			if in.size&mapKeyImm != 0 {
+				key = in.imm
+			}
+			var ok bool
+			if c.hm != nil {
+				_, ok = c.hm.Lookup(key)
+			} else if c.m != nil {
+				_, ok = c.m.Lookup(key)
+			} else {
+				goto fallback
+			}
+			var v uint64
+			if ok {
+				v = 1
+			}
+			regs[R0] = v
+			if in.size&resFwdAdd == 0 {
+				regs[in.dst&regIdxMask] = v
+			} else {
+				regs[in.dst&regIdxMask] += v
+			}
+
+		case opMapDeleteFast:
+			c := &dp.calls[in.tgt]
+			key := regs[in.src&regIdxMask]
+			if in.size&mapKeyImm != 0 {
+				key = in.imm
+			}
+			if c.hm != nil {
+				c.hm.Delete(key)
+			} else if c.m != nil {
+				c.m.Delete(key)
+			} else {
+				goto fallback
+			}
+			regs[R0] = 0
+			if in.size&resFwdAdd == 0 {
+				regs[in.dst&regIdxMask] = 0
+			}
+
+		case opMapUpdateFast:
+			c := &dp.calls[in.tgt]
+			key, val := regs[in.src&regIdxMask], regs[in.dst&regIdxMask]
+			if in.size&mapKeyImm != 0 {
+				key = in.imm
+			} else if in.size&mapValImm != 0 {
+				val = in.imm
+			}
+			var err error
+			if c.hm != nil {
+				err = c.hm.Update(key, val)
+			} else if c.m != nil {
+				err = c.m.Update(key, val)
+			} else {
+				goto fallback
+			}
+			if err != nil {
+				regs[R0] = ^uint64(0)
+			} else {
+				regs[R0] = 0
+			}
+
+		case opProbeReadFast:
+			base, size := int(in.tgt), int(in.imm)
+			if base < 0 || size <= 0 || base+size > StackSize {
+				goto fallback
+			}
+			dst := stack[base : base+size]
+			var v uint64
+			if ctx.Mem == nil {
+				zero(dst)
+				v = 1
+			} else if rerr := ctx.Mem.ReadInto(umem.Addr(regs[in.src&regIdxMask]), dst); rerr != nil {
+				zero(dst)
+				v = 1
+			}
+			regs[R0] = v
+			if in.size&resFwdAdd == 0 {
+				regs[in.dst&regIdxMask] = v
+			} else {
+				regs[in.dst&regIdxMask] += v
+			}
+
+		case opProbeReadStrFast:
+			base, size := int(in.tgt), int(in.imm)
+			if base < 0 || size <= 0 || base+size > StackSize {
+				goto fallback
+			}
+			dst := stack[base : base+size]
+			zero(dst)
+			var v uint64
+			if ctx.Mem == nil {
+				v = math.MaxUint64
+			} else if n, rerr := ctx.Mem.ReadCStringInto(umem.Addr(regs[in.src&regIdxMask]), dst[:len(dst)-1]); rerr != nil {
+				v = math.MaxUint64
+			} else {
+				v = uint64(n)
+			}
+			regs[R0] = v
+			if in.size&resFwdAdd == 0 {
+				regs[in.dst&regIdxMask] = v
+			} else {
+				regs[in.dst&regIdxMask] += v
 			}
 
 		default:
 			return fmt.Errorf("invalid opcode in fused run at pc %d", in.pc)
 		}
+		continue
+
+	fallback:
+		// A tier-1 pattern guard failed before any side effect: execute
+		// the original tier-0 ops the pattern covers. Tier-0 ops contain
+		// no pattern opcodes, so the recursion is at most one level deep.
+		if err := vm.execFallback(in, dp, regs, stack, ctx); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// execFallback runs the tier-0 constituent range of a pattern op whose
+// guard failed.
+func (vm *VM) execFallback(in *dop, dp *decodedProgram, regs *[decodedRegs]uint64, stack []byte, ctx *ExecContext) error {
+	lo, hi := int(in.pc), int(in.pc)+int(in.w)
+	if lo < 0 || hi > len(dp.ops) || lo >= hi {
+		return fmt.Errorf("invalid pattern fallback range [%d,%d) at pc %d", lo, hi, in.pc)
+	}
+	return vm.execRun(dp.ops[lo:hi], dp, regs, stack, ctx)
 }
 
 // callDecoded dispatches a helper call whose map argument (if any) was

@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/tracesynth/rostracer/internal/ebpf"
+	"github.com/tracesynth/rostracer/internal/sim"
+)
+
+// TestTieredFigureTextEquivalence pins the experiment artifacts — figure
+// text, synthesized models, and DAG DOT exports embedded in Result.Text —
+// byte-identical between a session pinned to tier-0 decode and one
+// promoted to tier 1 from the first fire. The overheads experiment rides
+// along to pin the retired-instruction cost accounting across tiers.
+func TestTieredFigureTextEquivalence(t *testing.T) {
+	cfg := Config{Runs: 2, Duration: 3 * sim.Second, CPUs: 4, Seed: 5}
+	experiments := map[string]func(Config) (Result, error){
+		"fig3a":     Fig3aExperiment,
+		"tableII":   TableIIExperiment,
+		"overheads": OverheadsExperiment,
+	}
+	for name, exp := range experiments {
+		t.Run(name, func(t *testing.T) {
+			old := ebpf.SetDefaultHotThreshold(0)
+			defer ebpf.SetDefaultHotThreshold(old)
+
+			r0, err := exp(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ebpf.SetDefaultHotThreshold(1)
+			r1, err := exp(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r0.Text != r1.Text {
+				t.Fatalf("tiered output diverged:\n--- tier 0 ---\n%s--- tier 1 ---\n%s", r0.Text, r1.Text)
+			}
+		})
+	}
+}

@@ -1,0 +1,158 @@
+package tracers
+
+import (
+	"github.com/tracesynth/rostracer/internal/sim"
+)
+
+// Adaptive drain scheduling: the backpressure policy for bounded rings.
+//
+// A fixed-period drain loop picks its period blind: too long and a hot
+// CPU's ring overruns (records are lost and counted against that ring),
+// too short and the poller burns wakeups draining nearly-empty rings.
+// The capacity-planning sweep (harness.CapacityPlanExperiment) maps that
+// trade-off offline; DrainScheduler closes the loop online, using the
+// same observable the sweep reports — per-ring pending high-water marks
+// and lost counts — to plan each next period so the worst ring is
+// expected to reach TargetFill of its capacity, no further.
+
+// DrainPolicy parameterizes the scheduler.
+type DrainPolicy struct {
+	// Capacity is the per-ring record bound the bundle was built with
+	// (NewBundleCapacity); 0 means unbounded, which disables adaptation
+	// (the scheduler then always plans Max).
+	Capacity int
+	// TargetFill is the fraction of Capacity the worst ring should reach
+	// by the next drain; the 1/TargetFill headroom absorbs rate growth
+	// between observations. Defaults to 0.5.
+	TargetFill float64
+	// Min and Max clamp the planned interval. The first interval is Min:
+	// a short calibration period that observes the actual fill rate
+	// before the scheduler trusts itself to back off.
+	Min, Max sim.Duration
+}
+
+// DrainObservation reports one observation window: the gauges read
+// before the drain, and the interval planned from them.
+type DrainObservation struct {
+	// MaxPending is the largest single-ring undrained backlog across the
+	// three tracers — the high-water mark the next period is planned
+	// from.
+	MaxPending int
+	// MaxPendingCPU is the CPU owning that worst ring.
+	MaxPendingCPU int
+	// LostDelta counts records lost to ring overruns since the previous
+	// observation (all rings).
+	LostDelta uint64
+	// Next is the planned next drain interval.
+	Next sim.Duration
+}
+
+// DrainScheduler plans the drain cadence of one Bundle from per-ring
+// pending/lost gauges. Call Observe after advancing the simulation by
+// the current Interval and before draining (the drain clears the
+// pending gauges the scheduler reads).
+type DrainScheduler struct {
+	b        *Bundle
+	pol      DrainPolicy
+	interval sim.Duration
+	lastLost [3][]uint64 // per-tracer, per-CPU lost snapshots
+	drains   int
+}
+
+// NewDrainScheduler plans drains for b under pol. The initial interval
+// is pol.Min for bounded rings (calibration) and pol.Max for unbounded
+// ones.
+func NewDrainScheduler(b *Bundle, pol DrainPolicy) *DrainScheduler {
+	if pol.TargetFill <= 0 || pol.TargetFill > 1 {
+		pol.TargetFill = 0.5
+	}
+	if pol.Min <= 0 {
+		pol.Min = 1
+	}
+	if pol.Max < pol.Min {
+		pol.Max = pol.Min
+	}
+	s := &DrainScheduler{b: b, pol: pol, interval: pol.Min}
+	if pol.Capacity <= 0 {
+		s.interval = pol.Max
+	}
+	return s
+}
+
+// Interval returns the current planned drain interval.
+func (s *DrainScheduler) Interval() sim.Duration { return s.interval }
+
+// Drains returns how many observation windows have completed.
+func (s *DrainScheduler) Drains() int { return s.drains }
+
+// Observe reads the per-ring gauges accumulated over the elapsed window
+// and plans the next interval: the worst ring's demand (pending
+// high-water plus records it lost) defines the observed fill rate, and
+// the next period is sized so that rate fills TargetFill of the
+// capacity. It must be called after the simulation advanced and before
+// the rings are drained.
+func (s *DrainScheduler) Observe(elapsed sim.Duration) DrainObservation {
+	obs := DrainObservation{Next: s.pol.Max}
+	worstDemand := 0
+	for bi, pb := range s.b.perfBuffers() {
+		rings := pb.NumRings()
+		for len(s.lastLost[bi]) < rings {
+			s.lastLost[bi] = append(s.lastLost[bi], 0)
+		}
+		for cpu := 0; cpu < rings; cpu++ {
+			lost := pb.LostOnCPU(cpu)
+			delta := lost - s.lastLost[bi][cpu]
+			s.lastLost[bi][cpu] = lost
+			obs.LostDelta += delta
+
+			pend := pb.PendingOnCPU(cpu)
+			if pend > obs.MaxPending {
+				obs.MaxPending, obs.MaxPendingCPU = pend, cpu
+			}
+			// Demand is what the ring would have held had it been big
+			// enough: the records still pending plus the ones it dropped.
+			if demand := pend + int(delta); demand > worstDemand {
+				worstDemand = demand
+			}
+		}
+	}
+	s.drains++
+
+	if s.pol.Capacity > 0 && worstDemand > 0 && elapsed > 0 {
+		// rate = worstDemand / elapsed; next = target records / rate.
+		target := s.pol.TargetFill * float64(s.pol.Capacity)
+		next := sim.Duration(target * float64(elapsed) / float64(worstDemand))
+		if next < s.pol.Min {
+			next = s.pol.Min
+		}
+		if next > s.pol.Max {
+			next = s.pol.Max
+		}
+		obs.Next = next
+	} else if s.pol.Capacity > 0 {
+		// Nothing arrived: back off one planning step at a time rather
+		// than jumping straight to Max, in case the workload is bursty.
+		next := s.interval * 2
+		if next > s.pol.Max {
+			next = s.pol.Max
+		}
+		obs.Next = next
+	}
+	s.interval = obs.Next
+	return obs
+}
+
+// MaxRingPending reports the largest undrained record count on any
+// single per-CPU ring across the three tracers — the gauge a drain
+// scheduler plans from (capacity bounds apply per ring, not per
+// buffer).
+func (b *Bundle) MaxRingPending() (pending, cpu int) {
+	for _, pb := range b.perfBuffers() {
+		for c := 0; c < pb.NumRings(); c++ {
+			if p := pb.PendingOnCPU(c); p > pending {
+				pending, cpu = p, c
+			}
+		}
+	}
+	return pending, cpu
+}

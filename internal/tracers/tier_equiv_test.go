@@ -1,0 +1,111 @@
+package tracers
+
+import (
+	"testing"
+
+	"github.com/tracesynth/rostracer/internal/apps"
+	"github.com/tracesynth/rostracer/internal/ebpf"
+	"github.com/tracesynth/rostracer/internal/rclcpp"
+	"github.com/tracesynth/rostracer/internal/sim"
+	"github.com/tracesynth/rostracer/internal/trace"
+)
+
+// TestTieredBundleEquivalence runs the full tracer bundle over a traced
+// SYN+AVP session under three tiering regimes — pinned to tier 0,
+// promoted to tier 1 after the first fire, and the default mid-session
+// promotion — and demands identical traces and identical runtime
+// accounting. This is the bundle-level guarantee the profile-guided
+// re-decode must uphold: tier 1 may only be faster, never different.
+func TestTieredBundleEquivalence(t *testing.T) {
+	runOnce := func(hotThreshold uint64, useDefault bool) (*trace.Trace, ebpf.RuntimeStats, float64) {
+		w := rclcpp.NewWorld(rclcpp.Config{NumCPUs: 4, Seed: 7})
+		if !useDefault {
+			w.Runtime().SetHotThreshold(hotThreshold)
+		}
+		b, err := NewBundle(w.Runtime())
+		if err != nil {
+			t.Fatal(err)
+		}
+		BridgeSched(w.Machine(), w.Runtime())
+		if err := b.StartInit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.StartRT(); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.StartKernel(true); err != nil {
+			t.Fatal(err)
+		}
+		apps.BuildSYN(w, apps.SYNConfig{})
+		apps.BuildAVP(w, apps.AVPConfig{})
+		b.StopInit()
+		w.Run(3 * sim.Second)
+		tr, err := b.Drain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr, w.Runtime().Stats(), w.Runtime().CostNs()
+	}
+
+	t0Tr, t0St, t0Cost := runOnce(0, false)
+	if t0Tr.Len() == 0 {
+		t.Fatal("empty trace; session produced no events")
+	}
+	for _, tc := range []struct {
+		name       string
+		threshold  uint64
+		useDefault bool
+	}{
+		{"tier1_immediate", 1, false},
+		{"default_midsession", 0, true},
+	} {
+		tr, st, cost := runOnce(tc.threshold, tc.useDefault)
+		if st != t0St {
+			t.Fatalf("%s: runtime stats diverged: %+v, tier-0 %+v", tc.name, st, t0St)
+		}
+		if cost != t0Cost {
+			t.Fatalf("%s: simulated probe cost diverged: %v, tier-0 %v", tc.name, cost, t0Cost)
+		}
+		if tr.Len() != t0Tr.Len() {
+			t.Fatalf("%s: trace length diverged: %d, tier-0 %d", tc.name, tr.Len(), t0Tr.Len())
+		}
+		for i := range tr.Events {
+			if tr.Events[i] != t0Tr.Events[i] {
+				t.Fatalf("%s: event %d diverged:\n%v\ntier-0: %v",
+					tc.name, i, tr.Events[i], t0Tr.Events[i])
+			}
+		}
+	}
+}
+
+// TestTieredBundlePromotes sanity-checks that the tier-1 regime actually
+// engages on the tracer programs (the equivalence above would pass
+// vacuously if promotion never happened).
+func TestTieredBundlePromotes(t *testing.T) {
+	w := rclcpp.NewWorld(rclcpp.Config{NumCPUs: 4, Seed: 7})
+	w.Runtime().SetHotThreshold(1)
+	b, err := NewBundle(w.Runtime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	BridgeSched(w.Machine(), w.Runtime())
+	if err := b.StartRT(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.StartKernel(true); err != nil {
+		t.Fatal(err)
+	}
+	apps.BuildAVP(w, apps.AVPConfig{})
+	w.Run(time500ms)
+	promoted := 0
+	for _, p := range b.Programs() {
+		if p.DecodeTier() == 1 {
+			promoted++
+		}
+	}
+	if promoted == 0 {
+		t.Fatal("no tracer program was promoted to tier 1")
+	}
+}
+
+const time500ms = 500 * sim.Millisecond
