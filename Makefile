@@ -28,10 +28,11 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x .
 
-# Streaming-pipeline microbenchmarks: stream vs batch drain and the
-# incremental model builder, with allocation reporting.
+# Streaming-pipeline microbenchmarks: stream vs batch drain, the
+# incremental model builder, and the trace-store read paths, with
+# allocation reporting.
 stream-bench:
-	$(GO) test -run '^$$' -bench 'Bundle_|Alg1_|Trace_Merge' -benchmem .
+	$(GO) test -run '^$$' -bench 'Bundle_|Alg1_|Trace_Merge|Store' -benchmem .
 
 # Run the suite and diff against BENCH_baseline.json: fails on >15% ns/op
 # regression of the named hot-path benchmarks (scripts/bench_compare.py).
@@ -40,9 +41,11 @@ bench-compare:
 	python3 scripts/bench_compare.py BENCH_baseline.json /tmp/bench_new.json
 
 # Short coverage-guided fuzz passes (used by CI): the binary trace codec
-# and the tier-0 vs tier-1 decode equivalence of random programs.
+# (batch reader and streaming segment cursor) and the tier-0 vs tier-1
+# decode equivalence of random programs.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadBinary -fuzztime 10s ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzFileCursor -fuzztime 10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzTier1Equivalence -fuzztime 10s ./internal/ebpf
 
 # Regenerate the BENCH_baseline.json snapshot future perf PRs compare

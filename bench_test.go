@@ -605,3 +605,87 @@ func BenchmarkAlg1_StreamModel(b *testing.B) {
 		}
 	}
 }
+
+// benchStoreSession writes one multi-segment AVP session into a fresh
+// store — contiguous chunks of a (Time, Seq)-sorted whole-run trace,
+// exactly the shape the rostracer periodic loop persists.
+func benchStoreSession(b *testing.B, seconds sim.Duration, segments int) (*trace.Store, string, int) {
+	b.Helper()
+	tr := avpTrace(b, seconds)
+	st, err := trace.NewStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	per := (tr.Len() + segments - 1) / segments
+	for seg := 0; seg < segments; seg++ {
+		lo := min(seg*per, tr.Len())
+		hi := min(lo+per, tr.Len())
+		if err := st.SaveSegment("run", seg, &trace.Trace{Events: tr.Events[lo:hi]}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return st, "run", tr.Len()
+}
+
+// BenchmarkStoreLoadSession measures the batch read path of the trace
+// database: materialize every event of a 10 s, 8-segment session into
+// one merged trace. Its B/op carries the whole session — the peak-memory
+// cost the streaming store path exists to avoid.
+func BenchmarkStoreLoadSession(b *testing.B) {
+	st, sess, want := benchStoreSession(b, 10*sim.Second, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	events := 0
+	for i := 0; i < b.N; i++ {
+		tr, err := st.LoadSession(sess)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Len() != want {
+			b.Fatalf("loaded %d events, want %d", tr.Len(), want)
+		}
+		events += tr.Len()
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkStoreStreamSession measures the streaming read path over the
+// same session: segment cursors decode one record at a time and the
+// k-way merge feeds the sink directly, so allocations are O(segments) —
+// independent of how many events the session holds.
+func BenchmarkStoreStreamSession(b *testing.B) {
+	st, sess, want := benchStoreSession(b, 10*sim.Second, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	events := 0
+	for i := 0; i < b.N; i++ {
+		var kc trace.KindCounter
+		if err := st.StreamSession(sess, &kc); err != nil {
+			b.Fatal(err)
+		}
+		if kc.Total() != want {
+			b.Fatalf("streamed %d events, want %d", kc.Total(), want)
+		}
+		events += kc.Total()
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkStoreStreamSynthesize measures the paper's end goal on the
+// persistent path: a stored session streaming straight into the
+// incremental Algorithm 1/2 builder, disk to model, nothing
+// materialized.
+func BenchmarkStoreStreamSynthesize(b *testing.B) {
+	st, sess, _ := benchStoreSession(b, 10*sim.Second, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mb := core.NewModelBuilder()
+		if err := st.StreamSession(sess, mb); err != nil {
+			b.Fatal(err)
+		}
+		if len(mb.Finish().Callbacks) == 0 {
+			b.Fatal("empty model")
+		}
+	}
+}

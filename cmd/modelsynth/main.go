@@ -48,14 +48,19 @@ func main() {
 		if *prefix != "" && !strings.HasPrefix(s, *prefix) {
 			continue
 		}
-		tr, err := store.LoadSession(s)
-		if err != nil {
+		// Each session streams off disk straight into the incremental
+		// synthesis sink: segment records decode one at a time, the k-way
+		// merge holds one event per segment, and sched events fold online —
+		// a multi-GB session synthesizes without ever materializing.
+		sink := core.NewSynthesizeSink()
+		var spanSink trace.SpanTracker
+		if err := store.StreamSession(s, trace.MultiSink(sink, &spanSink)); err != nil {
 			log.Fatalf("loading %s: %v", s, err)
 		}
-		first, last := tr.TimeSpan()
+		first, last := spanSink.Span()
 		inferredSpan += last.Sub(first)
-		dags = append(dags, core.Synthesize(tr))
-		log.Printf("session %s: %d events", s, tr.Len())
+		dags = append(dags, sink.DAG())
+		log.Printf("session %s: %d events", s, spanSink.Total())
 	}
 	if len(dags) == 0 {
 		log.Fatal("no sessions found")

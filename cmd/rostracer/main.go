@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/tracesynth/rostracer/internal/apps"
+	"github.com/tracesynth/rostracer/internal/core"
 	"github.com/tracesynth/rostracer/internal/harness"
 	"github.com/tracesynth/rostracer/internal/rclcpp"
 	"github.com/tracesynth/rostracer/internal/sim"
@@ -42,6 +43,7 @@ func main() {
 	unfilteredKernel := flag.Bool("unfiltered-kernel", false, "disable PID filtering in the kernel tracer")
 	ringCapacity := flag.Int("ring-capacity", 0, "per-CPU perf ring record bound (0 = unbounded)")
 	adaptive := flag.Bool("adaptive-drain", false, "plan the drain period from per-ring pending/lost gauges instead of the fixed -segment")
+	snapshotEvery := flag.Duration("snapshot-every", 0, "synthesize and write a model snapshot (JSON + DOT) every this much virtual time (0 = off)")
 	flag.Parse()
 
 	build, err := buildFunc(*app)
@@ -60,6 +62,7 @@ func main() {
 			duration: sim.Duration(*duration), segment: sim.Duration(*segment),
 			filtered: !*unfilteredKernel, jsonl: *jsonl, outDir: *out,
 			ringCapacity: *ringCapacity, adaptive: *adaptive,
+			snapshotEvery: sim.Duration(*snapshotEvery),
 		}
 		if err := traceOneRun(store, session, build, cfg); err != nil {
 			log.Fatalf("run %d: %v", run, err)
@@ -70,15 +73,16 @@ func main() {
 
 // runConfig carries one session's tracing parameters.
 type runConfig struct {
-	seed         uint64
-	cpus         int
-	duration     sim.Duration
-	segment      sim.Duration
-	filtered     bool
-	jsonl        bool
-	outDir       string
-	ringCapacity int
-	adaptive     bool
+	seed          uint64
+	cpus          int
+	duration      sim.Duration
+	segment       sim.Duration
+	filtered      bool
+	jsonl         bool
+	outDir        string
+	ringCapacity  int
+	adaptive      bool
+	snapshotEvery sim.Duration
 }
 
 func buildFunc(app string) (func(*rclcpp.World), error) {
@@ -112,12 +116,13 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), 
 	build(w)
 	b.StopInit()
 
-	// The periodic-drain loop is fully streaming: each period's ring
-	// segments decode and merge directly into the per-segment store
-	// collector (and, when asked, the JSONL sink), so peak memory is one
-	// segment — never the whole run. Successive drains stay globally
-	// (Time, Seq) ordered, which keeps the concatenated JSONL identical
-	// to what a whole-run merge would emit.
+	// The periodic-drain loop is fully streaming, disk included: each
+	// period's ring segments decode and merge directly into a
+	// SegmentWriter on the store (and, when asked, the JSONL sink and the
+	// online synthesis service), so peak memory is one event per ring —
+	// never a segment, let alone the whole run. Successive drains stay
+	// globally (Time, Seq) ordered, which keeps the concatenated JSONL
+	// identical to what a whole-run merge would emit.
 	//
 	// With -adaptive-drain the period is planned per segment by a
 	// DrainScheduler from the per-ring pending/lost gauges (-segment
@@ -151,6 +156,26 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), 
 			Max:        cfg.segment,
 		})
 	}
+	// -snapshot-every puts a live synthesis service on the drain loop:
+	// every segment streams into the service alongside the store, and
+	// each time the interval elapses the service re-finishes the model
+	// and writes JSON/DOT snapshots of the session so far.
+	var snapSvc *core.SnapshotService
+	var nextSnapAt sim.Duration
+	if cfg.snapshotEvery > 0 {
+		snapSvc = core.NewSnapshotService()
+		nextSnapAt = cfg.snapshotEvery
+	}
+	// Optional per-segment sinks as untyped-nil-safe interfaces: MultiSink
+	// drops nil entries (and collapses to the segment writer alone when
+	// neither option is on).
+	var jsink, snapSink trace.Sink
+	if jsonlSink != nil {
+		jsink = jsonlSink
+	}
+	if snapSvc != nil {
+		snapSink = snapSvc
+	}
 	totalEvents := 0
 	segIdx := 0
 	var prevLost uint64
@@ -177,12 +202,21 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), 
 		}
 		prevLost = b.Lost()
 
-		var col trace.Collector
-		sink := trace.Sink(&col)
-		if jsonlSink != nil {
-			sink = trace.MultiSink(&col, jsonlSink)
+		sw, err := store.WriteSegment(session, segIdx)
+		if err != nil {
+			return err
 		}
+		sink := trace.MultiSink(sw, jsink, snapSink)
+		// A failed drain must not leave a partial segment behind: a later
+		// StreamSession/modelsynth over the session would reject it (same
+		// invariant as the truncated-.jsonl cleanup above).
 		if err := b.StreamTo(sink); err != nil {
+			sw.Close()
+			os.Remove(sw.Path())
+			return err
+		}
+		if err := sw.Close(); err != nil {
+			os.Remove(sw.Path())
 			return err
 		}
 		if jsonlSink != nil {
@@ -193,14 +227,23 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), 
 				return err
 			}
 		}
-		if err := store.SaveSegment(session, segIdx, &col.Trace); err != nil {
-			return err
-		}
-		totalEvents += col.Trace.Len()
+		totalEvents += sw.Count()
 		log.Printf("  seg %-3d t=%-12v %6d events, ring hwm cpu%d=%d, lost +%d (total %d), next period %v",
-			segIdx, sim.Duration(elapsed), col.Trace.Len(), pendCPU, pendHWM,
+			segIdx, sim.Duration(elapsed), sw.Count(), pendCPU, pendHWM,
 			lostDelta, b.Lost(), nextStep)
 		segIdx++
+		if snapSvc != nil && elapsed >= nextSnapAt {
+			snap := snapSvc.Snapshot()
+			if err := writeSnapshot(cfg.outDir, session, snap); err != nil {
+				return err
+			}
+			log.Printf("  snapshot %d at t=%v: %d vertices / %d edges from %d events (%d sched folded)",
+				snap.Seq, sim.Duration(elapsed), len(snap.DAG.Vertices), len(snap.DAG.Edges()),
+				snap.Events, snap.FoldedSched)
+			for nextSnapAt <= elapsed {
+				nextSnapAt += cfg.snapshotEvery
+			}
+		}
 	}
 	if jsonlSink != nil {
 		if err := jsonlSink.Flush(); err != nil {
@@ -225,4 +268,31 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), 
 		log.Printf("  WARNING: %d records lost to ring overruns", lost)
 	}
 	return nil
+}
+
+// writeSnapshot persists one online-synthesis snapshot as
+// <session>-snap<seq>.json and .dot next to the session's segments. A
+// failed write removes both files: no partial snapshot artifact may be
+// left looking complete (the segment and .jsonl cleanups' invariant).
+func writeSnapshot(dir, session string, snap core.Snapshot) (retErr error) {
+	base := fmt.Sprintf("%s/%s-snap%03d", dir, session, snap.Seq)
+	defer func() {
+		if retErr != nil {
+			os.Remove(base + ".dot")
+			os.Remove(base + ".json")
+		}
+	}()
+	title := fmt.Sprintf("%s snapshot %d", session, snap.Seq)
+	if err := os.WriteFile(base+".dot", []byte(core.ToDOT(snap.DAG, title)), 0o644); err != nil {
+		return err
+	}
+	f, err := os.Create(base + ".json")
+	if err != nil {
+		return err
+	}
+	if err := core.WriteJSON(f, snap.DAG); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

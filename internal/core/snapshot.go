@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/tracesynth/rostracer/internal/trace"
+)
+
+// SnapshotService puts a live synthesis loop on top of ModelBuilder: a
+// long-running tracer streams drained events in (concurrently, batch by
+// batch) while periodic Snapshot calls re-run the rest of Algorithm 1
+// over everything observed so far and hand out the current model and
+// DAG. ModelBuilder already supports re-finishing as the stream grows;
+// the service adds the locking that lets observation and snapshotting
+// interleave safely, which is all a drain loop and a snapshot ticker
+// need to share one builder.
+type SnapshotService struct {
+	mu  sync.Mutex
+	b   *ModelBuilder
+	seq int
+	obs uint64 // total events observed, ROS + sched
+}
+
+// Snapshot is one point-in-time synthesis of the stream so far. Counters
+// are cumulative, so across successive snapshots every one of them is
+// non-decreasing — the monotonicity the race test asserts.
+type Snapshot struct {
+	Seq         int    // 1-based snapshot number
+	Events      uint64 // events observed when the snapshot was taken
+	FoldedSched uint64 // sched events folded online (never retained)
+	BufferedROS int    // ROS events the builder holds
+	Model       *Model
+	DAG         *DAG
+}
+
+// NewSnapshotService returns a service over an empty builder.
+func NewSnapshotService() *SnapshotService {
+	return &SnapshotService{b: NewModelBuilder()}
+}
+
+// Observe implements trace.Sink. Safe for concurrent use; events must
+// still arrive in (Time, Seq) order overall, so concurrent producers
+// must partition the stream the way the drain loop does (whole drained
+// segments, one producer at a time per segment).
+func (s *SnapshotService) Observe(e trace.Event) {
+	s.mu.Lock()
+	s.b.Observe(e)
+	s.obs++
+	s.mu.Unlock()
+}
+
+// ObserveBatch folds a whole drained batch under one lock acquisition,
+// for producers that already hold events in batches. (The rostracer
+// drain loop streams per-event through Observe instead — its segments
+// are never materialized, and one uncontended lock per event is noise
+// next to record decode.)
+func (s *SnapshotService) ObserveBatch(evs []trace.Event) {
+	s.mu.Lock()
+	for _, e := range evs {
+		s.b.Observe(e)
+	}
+	s.obs += uint64(len(evs))
+	s.mu.Unlock()
+}
+
+// EventsObserved reports how many events the service has folded so far.
+func (s *SnapshotService) EventsObserved() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.obs
+}
+
+// Snapshot synthesizes the model and DAG from everything observed so
+// far. The builder is not consumed: observation continues and later
+// snapshots see a superset of the stream.
+func (s *SnapshotService) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	m := s.b.Finish()
+	return Snapshot{
+		Seq:         s.seq,
+		Events:      s.obs,
+		FoldedSched: s.b.SchedEventsFolded(),
+		BufferedROS: s.b.BufferedROSEvents(),
+		Model:       m,
+		DAG:         BuildDAG(m),
+	}
+}

@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/tracesynth/rostracer/internal/core"
+	"github.com/tracesynth/rostracer/internal/rclcpp"
+	"github.com/tracesynth/rostracer/internal/sim"
+	"github.com/tracesynth/rostracer/internal/trace"
+	"github.com/tracesynth/rostracer/internal/tracers"
+)
+
+// writePeriodicSession reproduces the rostracer periodic-drain loop:
+// boot a traced world and stream each drain period through a
+// SegmentWriter into the store, one segment per period, never
+// materializing a segment.
+func writePeriodicSession(t *testing.T, st *trace.Store, session string, seed uint64,
+	segments int, period sim.Duration) {
+	t.Helper()
+	w := rclcpp.NewWorld(rclcpp.Config{NumCPUs: 6, Seed: seed})
+	b, err := tracers.NewBundle(w.Runtime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracers.BridgeSched(w.Machine(), w.Runtime())
+	for _, err := range []error{b.StartInit(), b.StartRT(), b.StartKernel(true)} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	BuildBoth(1)(w)
+	b.StopInit()
+	for seg := 0; seg < segments; seg++ {
+		w.Run(period)
+		sw, err := st.WriteSegment(session, seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.StreamTo(sw); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStoreStreamSessionMatchesBatchPath is the full-stack persistence
+// equivalence pin: a multi-segment session written by the rostracer
+// periodic loop, read back through Store.StreamSession, must be
+// byte-identical to the batch path — in events (vs LoadSession and vs an
+// identical whole-run drain), in synthesized model text, in DAG DOT, and
+// in the exported JSON figure artifact.
+func TestStoreStreamSessionMatchesBatchPath(t *testing.T) {
+	const seed = 23
+	st, err := trace.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writePeriodicSession(t, st, "run", seed, 4, sim.Second)
+
+	// Events: streaming read == batch read == an identical run drained
+	// once at the end (successive periodic drains preserve global
+	// (Time, Seq) order, pinned since PR 3).
+	var col trace.Collector
+	if err := st.StreamSession("run", &col); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := st.LoadSession("run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(col.Trace.Events, loaded.Events) {
+		t.Fatalf("StreamSession yields %d events, LoadSession %d, streams differ",
+			col.Trace.Len(), loaded.Len())
+	}
+	s, err := RunSession(seed, 6, 4*sim.Second, true, BuildBoth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(col.Trace.Events, s.Trace.Events) {
+		t.Fatalf("stored session has %d events, whole-run drain %d, streams differ",
+			col.Trace.Len(), s.Trace.Len())
+	}
+
+	// Artifacts: a model synthesized through the streaming store path
+	// (cursors -> merge -> incremental builder, nothing materialized)
+	// must render the same text as the batch pipeline.
+	sink := core.NewSynthesizeSink()
+	if err := st.StreamSession("run", sink); err != nil {
+		t.Fatal(err)
+	}
+	dStream := sink.DAG()
+	dBatch := core.Synthesize(s.Trace)
+
+	if got, want := core.Summary(dStream), core.Summary(dBatch); got != want {
+		t.Fatalf("model summaries differ:\n--- streamed store ---\n%s--- batch ---\n%s", got, want)
+	}
+	if got, want := core.ToDOT(dStream, "g"), core.ToDOT(dBatch, "g"); got != want {
+		t.Fatal("DAG DOT differs between streamed store path and batch path")
+	}
+	var jStream, jBatch bytes.Buffer
+	if err := core.WriteJSON(&jStream, dStream); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.WriteJSON(&jBatch, dBatch); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jStream.Bytes(), jBatch.Bytes()) {
+		t.Fatal("exported JSON differs between streamed store path and batch path")
+	}
+}
+
+// TestStoreSegmentsMatchPeriodicDrains checks each stored segment holds
+// exactly one drain period's events: re-running the same world and
+// collecting each period batch-style must reproduce segment files byte
+// for byte (SegmentWriter vs SaveSegment-of-a-Collector).
+func TestStoreSegmentsMatchPeriodicDrains(t *testing.T) {
+	const seed = 29
+	stStream, err := trace.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writePeriodicSession(t, stStream, "run", seed, 3, sim.Second)
+
+	stBatch, err := trace.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := rclcpp.NewWorld(rclcpp.Config{NumCPUs: 6, Seed: seed})
+	b, err := tracers.NewBundle(w.Runtime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracers.BridgeSched(w.Machine(), w.Runtime())
+	for _, err := range []error{b.StartInit(), b.StartRT(), b.StartKernel(true)} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	BuildBoth(1)(w)
+	b.StopInit()
+	for seg := 0; seg < 3; seg++ {
+		w.Run(sim.Second)
+		tr, err := b.Drain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := stBatch.SaveSegment("run", seg, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for seg := 0; seg < 3; seg++ {
+		a, err := stStream.LoadSegment("run", seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := stBatch.LoadSegment("run", seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Events, b.Events) {
+			t.Fatalf("segment %d differs: %d vs %d events", seg, a.Len(), b.Len())
+		}
+	}
+}

@@ -23,78 +23,58 @@ import (
 
 const binMagic = "RTRC1\n"
 
-// WriteBinary encodes t to w.
-func WriteBinary(w io.Writer, t *Trace) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(binMagic); err != nil {
-		return err
+// appendRecordBody appends the body of one record — everything after the
+// u32 length prefix — to dst. Shared by WriteBinary and SegmentWriter so
+// the batch and streaming encoders cannot drift. ok is false when a
+// string field exceeds the u16 length prefix; the caller formats the
+// error (formatting it here would make every event escape to the heap).
+func appendRecordBody(dst []byte, e *Event) (body []byte, ok bool) {
+	if len(e.Node) > 0xFFFF || len(e.Topic) > 0xFFFF {
+		return nil, false
 	}
-	var scratch [90]byte
-	for _, e := range t.Events {
-		if len(e.Node) > 0xFFFF || len(e.Topic) > 0xFFFF {
-			return fmt.Errorf("trace: string field too long in event %v", e)
-		}
-		b := scratch[:0]
-		b = append(b, byte(e.Kind))
-		b = binary.LittleEndian.AppendUint64(b, uint64(e.Time))
-		b = binary.LittleEndian.AppendUint64(b, e.Seq)
-		b = binary.LittleEndian.AppendUint32(b, e.PID)
-		b = binary.LittleEndian.AppendUint64(b, e.CBID)
-		b = binary.LittleEndian.AppendUint64(b, uint64(e.SrcTS))
-		b = binary.LittleEndian.AppendUint64(b, e.Ret)
-		b = binary.LittleEndian.AppendUint32(b, uint32(e.CPU))
-		b = binary.LittleEndian.AppendUint32(b, e.PrevPID)
-		b = binary.LittleEndian.AppendUint32(b, e.NextPID)
-		b = binary.LittleEndian.AppendUint32(b, uint32(e.PrevPrio))
-		b = binary.LittleEndian.AppendUint32(b, uint32(e.NextPrio))
-		b = binary.LittleEndian.AppendUint32(b, uint32(e.PrevState))
-		b = binary.LittleEndian.AppendUint16(b, uint16(len(e.Node)))
-		b = append(b, e.Node...)
-		b = binary.LittleEndian.AppendUint16(b, uint16(len(e.Topic)))
-		b = append(b, e.Topic...)
-
-		var lenBuf [4]byte
-		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(b)))
-		if _, err := bw.Write(lenBuf[:]); err != nil {
-			return err
-		}
-		if _, err := bw.Write(b); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	b := append(dst, byte(e.Kind))
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.Time))
+	b = binary.LittleEndian.AppendUint64(b, e.Seq)
+	b = binary.LittleEndian.AppendUint32(b, e.PID)
+	b = binary.LittleEndian.AppendUint64(b, e.CBID)
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.SrcTS))
+	b = binary.LittleEndian.AppendUint64(b, e.Ret)
+	b = binary.LittleEndian.AppendUint32(b, uint32(e.CPU))
+	b = binary.LittleEndian.AppendUint32(b, e.PrevPID)
+	b = binary.LittleEndian.AppendUint32(b, e.NextPID)
+	b = binary.LittleEndian.AppendUint32(b, uint32(e.PrevPrio))
+	b = binary.LittleEndian.AppendUint32(b, uint32(e.NextPrio))
+	b = binary.LittleEndian.AppendUint32(b, uint32(e.PrevState))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(e.Node)))
+	b = append(b, e.Node...)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(e.Topic)))
+	b = append(b, e.Topic...)
+	return b, true
 }
 
-// ReadBinary decodes a trace written by WriteBinary.
+// WriteBinary encodes t to w: the batch wrapper over SegmentWriter.
+func WriteBinary(w io.Writer, t *Trace) error {
+	sw := NewSegmentWriter(w)
+	for _, e := range t.Events {
+		sw.Observe(e)
+	}
+	return sw.Close()
+}
+
+// ReadBinary decodes a trace written by WriteBinary: the batch wrapper
+// over FileCursor. It is all-or-nothing — any decode error discards the
+// events read so far; use FileCursor directly to consume the valid
+// prefix of a damaged segment.
 func ReadBinary(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(binMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if string(magic) != binMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic)
-	}
+	c := NewFileCursor(r)
 	out := &Trace{}
-	var lenBuf [4]byte
 	for {
-		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
-			if err == io.EOF {
-				return out, nil
-			}
-			return nil, err
-		}
-		n := binary.LittleEndian.Uint32(lenBuf[:])
-		if n < recFixedSize || n > 1<<20 {
-			return nil, fmt.Errorf("trace: implausible record length %d", n)
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("trace: truncated record: %w", err)
-		}
-		e, err := decodeRecord(buf)
+		e, ok, err := c.Next()
 		if err != nil {
 			return nil, err
+		}
+		if !ok {
+			return out, nil
 		}
 		out.Events = append(out.Events, e)
 	}

@@ -45,3 +45,62 @@ func FuzzReadBinary(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFileCursor feeds arbitrary segment bytes to the streaming reader.
+// The cursor must never panic — random, truncated, or corrupted input
+// included — and must fail with an error on exactly the inputs
+// ReadBinary rejects, yielding on the way only events ReadBinary would
+// have decoded (its valid prefix, never a partial record).
+func FuzzFileCursor(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteBinary(&valid, &Trace{Events: sampleEvents()}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	for _, cut := range []int{len(binMagic), len(binMagic) + 2, len(valid.Bytes()) / 2, len(valid.Bytes()) - 1} {
+		f.Add(valid.Bytes()[:cut])
+	}
+	f.Add([]byte(binMagic))
+	f.Add([]byte("not a trace file"))
+	corrupt := append([]byte(nil), valid.Bytes()...)
+	binary.LittleEndian.PutUint32(corrupt[len(binMagic):], 1<<19)
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var got []Event
+		cur := NewFileCursor(bytes.NewReader(data))
+		var curErr error
+		for {
+			ev, ok, err := cur.Next()
+			if err != nil {
+				curErr = err
+				break
+			}
+			if !ok {
+				break
+			}
+			got = append(got, ev)
+		}
+		// The error must be sticky.
+		if curErr != nil {
+			if _, _, err := cur.Next(); err == nil {
+				t.Fatal("cursor error not sticky")
+			}
+		}
+
+		want, batchErr := ReadBinary(bytes.NewReader(data))
+		if (curErr == nil) != (batchErr == nil) {
+			t.Fatalf("cursor err=%v, ReadBinary err=%v", curErr, batchErr)
+		}
+		if batchErr == nil {
+			if len(got) != want.Len() {
+				t.Fatalf("cursor decoded %d events, ReadBinary %d", len(got), want.Len())
+			}
+			for i := range got {
+				if got[i] != want.Events[i] {
+					t.Fatalf("event %d: cursor %v, ReadBinary %v", i, got[i], want.Events[i])
+				}
+			}
+		}
+	})
+}

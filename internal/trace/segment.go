@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/tracesynth/rostracer/internal/sim"
+)
+
+// Streaming persistence: SegmentWriter is the Sink side of the trace
+// database (events append to a .rtrc segment as they are observed) and
+// FileCursor is the Cursor side (records decode one at a time off a
+// buffered reader). Together they make disk a pass-through stage of the
+// streaming pipeline: a drain can flow rings -> merge -> segment file,
+// and a stored session can flow segment files -> merge -> model builder,
+// with peak buffering of one event per stream on either side.
+
+// SegmentWriter writes the binary .rtrc codec incrementally: the magic
+// header goes out on creation and every Observe appends one
+// length-delimited record, so a segment of any size is written with one
+// event of state. The format is self-delimiting (records carry their own
+// length prefixes and the stream ends at EOF), so Close has no count
+// field to patch — it only flushes, and a segment interrupted mid-write
+// is recognizable by its truncated final record (see FileCursor).
+//
+// Errors are sticky: the first write or encode error stops further
+// output and is reported by Err and Close. A SegmentWriter produces
+// byte-identical output to WriteBinary over the same event sequence
+// (WriteBinary is implemented as one).
+type SegmentWriter struct {
+	bw     *bufio.Writer
+	c      io.Closer // owned destination, closed by Close (nil for plain writers)
+	path   string    // destination file, when opened through a Store
+	n      int
+	err    error
+	closed bool
+	// Reused encode buffers: Observe is the per-event hot path of every
+	// periodic drain, so it must not allocate (stack-local buffers would
+	// escape through the io interfaces).
+	lenBuf  [4]byte
+	scratch []byte
+}
+
+// NewSegmentWriter starts a segment on w by writing the magic header.
+// The caller must Close to flush. When w needs closing too (a file), use
+// Store.WriteSegment, which hands ownership to the writer.
+func NewSegmentWriter(w io.Writer) *SegmentWriter {
+	sw := &SegmentWriter{bw: bufio.NewWriter(w), scratch: make([]byte, 0, 128)}
+	_, sw.err = sw.bw.WriteString(binMagic)
+	return sw
+}
+
+// Observe implements Sink, appending one record to the segment.
+func (sw *SegmentWriter) Observe(e Event) {
+	if sw.closed {
+		// Buffering into a flushed writer would vanish silently; make the
+		// misuse loud instead.
+		if sw.err == nil {
+			sw.err = fmt.Errorf("trace: Observe on closed segment writer")
+		}
+		return
+	}
+	if sw.err != nil {
+		return
+	}
+	body, ok := appendRecordBody(sw.scratch[:0], &e)
+	if !ok {
+		sw.err = fmt.Errorf("trace: string field too long in event %v", e)
+		return
+	}
+	sw.scratch = body[:0] // keep any growth for the next record
+	binary.LittleEndian.PutUint32(sw.lenBuf[:], uint32(len(body)))
+	if _, err := sw.bw.Write(sw.lenBuf[:]); err != nil {
+		sw.err = err
+		return
+	}
+	if _, err := sw.bw.Write(body); err != nil {
+		sw.err = err
+		return
+	}
+	sw.n++
+}
+
+// Count reports how many records have been written.
+func (sw *SegmentWriter) Count() int { return sw.n }
+
+// Path reports the destination file of a store-opened writer (empty for
+// plain io.Writer destinations) — what a caller removes when a failed
+// drain must not leave a partial segment looking like a complete one.
+func (sw *SegmentWriter) Path() string { return sw.path }
+
+// Err reports the first write or encode error, if any.
+func (sw *SegmentWriter) Err() error { return sw.err }
+
+// Close flushes buffered output (and closes the destination when the
+// writer owns it), reporting the first error of the whole stream. Close
+// is idempotent.
+func (sw *SegmentWriter) Close() error {
+	if sw.closed {
+		return sw.err
+	}
+	sw.closed = true
+	if sw.err == nil {
+		sw.err = sw.bw.Flush()
+	}
+	if sw.c != nil {
+		if cerr := sw.c.Close(); sw.err == nil {
+			sw.err = cerr
+		}
+	}
+	return sw.err
+}
+
+// FileCursor decodes a .rtrc segment into a Cursor: one record per Next,
+// off a buffered reader, with a single reused record buffer — reading a
+// multi-GB segment holds one record in memory, never the segment. It
+// accepts exactly the inputs ReadBinary accepts and fails exactly where
+// ReadBinary fails (ReadBinary is implemented over it, and
+// FuzzFileCursor pins the equivalence): a segment truncated mid-record —
+// e.g. by a writer killed before Close — yields every complete record
+// and then an error, so no partial-record event ever reaches a sink.
+type FileCursor struct {
+	br   *bufio.Reader
+	c    io.Closer // owned source, closed by Close (nil for plain readers)
+	name string    // when set (store-opened cursors), errors name the segment
+	buf  []byte
+	// strict makes Next reject records out of (Time, Seq) order. Store
+	// segments are required sorted (MergeStream cannot re-sort, and an
+	// out-of-order stream would silently corrupt Algorithm 2's windows),
+	// so store-opened cursors validate; the plain codec keeps accepting
+	// arbitrary traces, as WriteBinary round-trips them.
+	strict   bool
+	prevTime sim.Time
+	prevSeq  uint64
+	prevSet  bool
+	lenBuf   [4]byte // reused: a stack-local would escape through io.ReadFull
+	err      error
+	started  bool
+	done     bool
+}
+
+// NewFileCursor opens a cursor over a .rtrc stream. The magic header is
+// validated on the first Next. When r needs closing (a file), use
+// Store.SessionCursors, which hands ownership to the cursor.
+func NewFileCursor(r io.Reader) *FileCursor {
+	return &FileCursor{br: bufio.NewReader(r)}
+}
+
+func (c *FileCursor) fail(err error) (Event, bool, error) {
+	if c.name != "" {
+		err = fmt.Errorf("trace: segment %s: %w", c.name, err)
+	}
+	c.err = err
+	return Event{}, false, c.err
+}
+
+// Next implements Cursor. Errors are sticky: after the first decode
+// error the cursor keeps returning it.
+func (c *FileCursor) Next() (Event, bool, error) {
+	if c.err != nil {
+		return Event{}, false, c.err
+	}
+	if c.done {
+		return Event{}, false, nil
+	}
+	if !c.started {
+		c.started = true
+		var magic [len(binMagic)]byte
+		if _, err := io.ReadFull(c.br, magic[:]); err != nil {
+			return c.fail(fmt.Errorf("trace: reading magic: %w", err))
+		}
+		if string(magic[:]) != binMagic {
+			return c.fail(fmt.Errorf("trace: bad magic %q", magic))
+		}
+	}
+	if _, err := io.ReadFull(c.br, c.lenBuf[:]); err != nil {
+		if err == io.EOF {
+			c.done = true
+			return Event{}, false, nil
+		}
+		return c.fail(err)
+	}
+	n := binary.LittleEndian.Uint32(c.lenBuf[:])
+	if n < recFixedSize || n > 1<<20 {
+		return c.fail(fmt.Errorf("trace: implausible record length %d", n))
+	}
+	if cap(c.buf) < int(n) {
+		c.buf = make([]byte, n)
+	}
+	buf := c.buf[:n]
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return c.fail(fmt.Errorf("trace: truncated record: %w", err))
+	}
+	// decodeRecord interns the string fields, so the record buffer can be
+	// reused for the next Next.
+	ev, err := decodeRecord(buf)
+	if err != nil {
+		return c.fail(err)
+	}
+	if c.strict {
+		if c.prevSet && (ev.Time < c.prevTime || (ev.Time == c.prevTime && ev.Seq < c.prevSeq)) {
+			return c.fail(fmt.Errorf("trace: record out of (Time, Seq) order: (%d, %d) after (%d, %d)",
+				ev.Time, ev.Seq, c.prevTime, c.prevSeq))
+		}
+		c.prevTime, c.prevSeq, c.prevSet = ev.Time, ev.Seq, true
+	}
+	return ev, true, nil
+}
+
+// Err reports the first decode error, if any.
+func (c *FileCursor) Err() error { return c.err }
+
+// Close releases the underlying source when the cursor owns it.
+func (c *FileCursor) Close() error {
+	if c.c != nil {
+		return c.c.Close()
+	}
+	return nil
+}

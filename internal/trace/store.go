@@ -10,6 +10,12 @@ import (
 // Store is the "trace database" of Fig. 2: a directory of trace segments
 // grouped into sessions. Segment files are named
 // <session>-<segment>.rtrc and use the binary codec.
+//
+// Persistence is streaming on both sides: WriteSegment returns a
+// SegmentWriter sink that appends records as they are observed, and
+// StreamSession k-way merges FileCursors over all segments of a session
+// straight into any sink. SaveSegment and LoadSession are the batch
+// wrappers over those paths.
 type Store struct {
 	dir string
 }
@@ -29,17 +35,40 @@ func (s *Store) segPath(session string, segment int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("%s-%04d.rtrc", session, segment))
 }
 
-// SaveSegment writes one trace segment for a session.
+// WriteSegment creates one segment file of a session and returns a
+// SegmentWriter sink over it. Events append to disk as they are
+// observed — a periodic drain can stream rings -> merge -> segment
+// without ever materializing the segment — and Close finalizes the file.
+func (s *Store) WriteSegment(session string, segment int) (*SegmentWriter, error) {
+	path := s.segPath(session, segment)
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	sw := NewSegmentWriter(f)
+	sw.c = f
+	sw.path = path
+	return sw, nil
+}
+
+// SaveSegment writes one trace segment for a session: the batch wrapper
+// over WriteSegment. Store segments are (Time, Seq)-sorted on disk —
+// the streaming read path merges, it cannot re-sort — so an unsorted
+// trace is normalized here at write time (the historical LoadSession
+// sorted at read time, with the same observable result).
 func (s *Store) SaveSegment(session string, segment int, t *Trace) error {
-	f, err := os.Create(s.segPath(session, segment))
+	if !t.sortedByTime() {
+		t = t.Clone()
+		t.SortByTime()
+	}
+	sw, err := s.WriteSegment(session, segment)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := WriteBinary(f, t); err != nil {
-		return err
+	for _, e := range t.Events {
+		sw.Observe(e)
 	}
-	return f.Close()
+	return sw.Close()
 }
 
 // LoadSegment reads one trace segment.
@@ -77,32 +106,95 @@ func (s *Store) Sessions() ([]string, error) {
 	return out, nil
 }
 
-// LoadSession merges all segments of a session into one sorted trace.
-func (s *Store) LoadSession(session string) (*Trace, error) {
+// segmentNames lists the segment files of a session in segment order
+// (os.ReadDir sorts by filename and segment numbers are zero-padded).
+func (s *Store) segmentNames(session string) ([]string, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return nil, err
 	}
-	var traces []*Trace
 	prefix := session + "-"
+	var names []string
 	for _, ent := range entries {
 		name := ent.Name()
 		if filepath.Ext(name) != ".rtrc" || len(name) < len(prefix) || name[:len(prefix)] != prefix {
 			continue
 		}
-		f, err := os.Open(filepath.Join(s.dir, name))
-		if err != nil {
-			return nil, err
-		}
-		t, err := ReadBinary(f)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("trace: segment %s: %w", name, err)
-		}
-		traces = append(traces, t)
+		names = append(names, name)
 	}
-	if len(traces) == 0 {
+	return names, nil
+}
+
+// SessionCursors opens every segment of a session and returns one
+// FileCursor per segment, in segment order; decode errors name the
+// segment file they came from, and records out of (Time, Seq) order are
+// rejected (the merge cannot re-sort them). The caller owns the cursors
+// and must Close each one; StreamSession does this bookkeeping for the
+// common merge-into-a-sink case. Every segment file is open at once —
+// the single-pass k-way merge reads all heads simultaneously — so
+// sessions are bounded by the process fd limit at roughly one fd per
+// segment (a 1h run at the default 5s period is ~720).
+func (s *Store) SessionCursors(session string) ([]*FileCursor, error) {
+	names, err := s.segmentNames(session)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
 		return nil, fmt.Errorf("trace: session %q has no segments", session)
 	}
-	return Merge(traces...), nil
+	curs := make([]*FileCursor, 0, len(names))
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(s.dir, name))
+		if err != nil {
+			for _, c := range curs {
+				c.Close()
+			}
+			return nil, err
+		}
+		fc := NewFileCursor(f)
+		fc.c = f
+		fc.name = name
+		fc.strict = true
+		curs = append(curs, fc)
+	}
+	return curs, nil
+}
+
+// StreamSession k-way merges all segments of a session into sink in
+// (Time, Seq) order. Records decode one at a time off each segment file
+// and the merge holds one event per segment cursor, so a session of any
+// size streams into a model builder (or any other sink) at O(segments)
+// peak memory. Segments must be internally (Time, Seq)-sorted — every
+// tracer drain writes them so — since a stream cannot be re-sorted;
+// ties across segments resolve to the earlier segment, exactly as
+// LoadSession's historical Merge over materialized segments resolved
+// them to the earlier input trace.
+func (s *Store) StreamSession(session string, sink Sink) error {
+	curs, err := s.SessionCursors(session)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, c := range curs {
+			c.Close()
+		}
+	}()
+	cursors := make([]Cursor, len(curs))
+	for i, c := range curs {
+		cursors[i] = c
+	}
+	return NewMergeStream(cursors...).Run(sink)
+}
+
+// LoadSession merges all segments of a session into one sorted trace:
+// the Collector wrapper over StreamSession. Sortedness is guaranteed at
+// write time (SaveSegment normalizes, drains emit in order) and
+// validated at read time by the strict cursors, so the result needs no
+// re-sort — an out-of-order segment file fails loudly instead.
+func (s *Store) LoadSession(session string) (*Trace, error) {
+	var col Collector
+	if err := s.StreamSession(session, &col); err != nil {
+		return nil, err
+	}
+	return &col.Trace, nil
 }

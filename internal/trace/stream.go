@@ -1,5 +1,7 @@
 package trace
 
+import "github.com/tracesynth/rostracer/internal/sim"
+
 // Streaming counterpart of the batch Trace pipeline: a Sink consumes
 // events one at a time in (Time, Seq) order, a Cursor produces them, and
 // MergeStream k-way merges many sorted cursors into a sink with a
@@ -70,6 +72,36 @@ func (k *KindCounter) Count(kind Kind) int {
 
 // Total reports the number of events observed.
 func (k *KindCounter) Total() int { return int(k.total) }
+
+// SpanTracker is a Sink recording the observed stream's first/last event
+// times and its event count without retaining events — the streaming
+// replacement for materializing a trace just to call TimeSpan and Len.
+type SpanTracker struct {
+	first, last sim.Time
+	n           int
+}
+
+// Observe implements Sink.
+func (t *SpanTracker) Observe(e Event) {
+	if t.n == 0 {
+		t.first, t.last = e.Time, e.Time
+	} else {
+		if e.Time < t.first {
+			t.first = e.Time
+		}
+		if e.Time > t.last {
+			t.last = e.Time
+		}
+	}
+	t.n++
+}
+
+// Span reports the first and last observed event times (zero values when
+// nothing was observed), mirroring Trace.TimeSpan.
+func (t *SpanTracker) Span() (first, last sim.Time) { return t.first, t.last }
+
+// Total reports the number of events observed.
+func (t *SpanTracker) Total() int { return t.n }
 
 // MultiSink fans one stream out to several sinks, in order.
 func MultiSink(sinks ...Sink) Sink {

@@ -16,7 +16,8 @@ import json
 import sys
 
 # The hot-path benchmarks that gate: the per-event fire path, the ring
-# emit/drain path, and the streaming drain the tracers sustain.
+# emit/drain path, the streaming drain the tracers sustain, and the
+# trace-store read paths.
 GATED = [
     "BenchmarkEBPF_DispatchDecoded",
     "BenchmarkEBPF_ProbeDispatch",
@@ -25,6 +26,8 @@ GATED = [
     "BenchmarkBundle_BatchDrain",
     "BenchmarkTrace_MergePerCPUStreams",
     "BenchmarkAlg1_StreamModel",
+    "BenchmarkStoreLoadSession",
+    "BenchmarkStoreStreamSession",
 ]
 
 # Alloc regressions on the zero-alloc fire path are failures at any size.
