@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-smoke bench-compare stream-bench fuzz-smoke baseline
+.PHONY: all build test vet race check bench bench-smoke bench-compare stream-bench fuzz-smoke chaos chaos-race baseline
 
 all: check
 
@@ -36,20 +36,35 @@ stream-bench:
 
 # Run the suite and diff against BENCH_baseline.json: fails on >15% ns/op
 # regression of the named hot-path benchmarks (scripts/bench_compare.py).
+# -count=3 with min-of-N selection in bench_to_json keeps scheduler noise
+# on a loaded machine from tripping the gate.
 bench-compare:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms . | python3 scripts/bench_to_json.py > /tmp/bench_new.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms -count=3 . | python3 scripts/bench_to_json.py > /tmp/bench_new.json
 	python3 scripts/bench_compare.py BENCH_baseline.json /tmp/bench_new.json
 
 # Short coverage-guided fuzz passes (used by CI): the binary trace codec
-# (batch reader and streaming segment cursor) and the tier-0 vs tier-1
-# decode equivalence of random programs.
+# (batch reader and streaming segment cursor), salvage over damaged
+# segments, and the tier-0 vs tier-1 decode equivalence of random
+# programs.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadBinary -fuzztime 10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzFileCursor -fuzztime 10s ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzSalvage -fuzztime 10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzTier1Equivalence -fuzztime 10s ./internal/ebpf
+
+# Fault-injection chaos run: the full drain -> store -> synthesis
+# pipeline under a seeded fault plan (transport drops, forced ring
+# overruns, scripted disk failures) with exact loss accounting and a
+# salvage pass over a deterministically damaged store.
+chaos:
+	$(GO) run ./cmd/experiments -run chaos -runs 1 -duration 5s
+
+# The same chaos run under the race detector (via its harness test).
+chaos-race:
+	$(GO) test -race -run TestChaosExperiment -count=1 ./internal/harness
 
 # Regenerate the BENCH_baseline.json snapshot future perf PRs compare
 # against.
 baseline:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms . | python3 scripts/bench_to_json.py > BENCH_baseline.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms -count=3 . | python3 scripts/bench_to_json.py > BENCH_baseline.json
 	@echo wrote BENCH_baseline.json

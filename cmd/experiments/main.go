@@ -35,12 +35,13 @@ var experiments = map[string]func(harness.Config) (harness.Result, error){
 	"validation":       harness.ValidationExperiment,
 	"capacity-plan":    harness.CapacityPlanExperiment,
 	"adaptive-drain":   harness.AdaptiveDrainExperiment,
+	"chaos":            harness.ChaosExperiment,
 }
 
 var order = []string{
 	"tableI", "fig3a", "fig3b", "tableII", "fig4",
 	"overheads", "fig2", "ablation-service", "ablation-sync", "validation",
-	"capacity-plan", "adaptive-drain",
+	"capacity-plan", "adaptive-drain", "chaos",
 }
 
 func main() {

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	modelsynth -in ./traces [-dot model.dot] [-json model.json] [-mode-prefix avp]
+//
+// With -salvage, damaged sessions degrade instead of aborting: each
+// segment streams every complete record up to its damage point and the
+// per-segment salvage report (events recovered, bytes dropped, damage
+// cause) is printed. -fsck only scans and classifies damage, without
+// synthesizing.
 package main
 
 import (
@@ -32,11 +38,24 @@ func main() {
 	chains := flag.Bool("chains", false, "print computation chains and WCET bounds")
 	loads := flag.Bool("loads", false, "print processor loads and a 4-core greedy binding")
 	span := flag.Duration("span", 0, "observation span per session for -loads (0 = infer)")
+	salvage := flag.Bool("salvage", false, "recover damaged sessions: stream every complete record up to each segment's damage point")
+	fsck := flag.Bool("fsck", false, "scan the store and classify segment damage, then exit (nonzero if any)")
 	flag.Parse()
 
 	store, err := trace.NewStore(*in)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *fsck {
+		rep, err := store.Fsck()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(rep.String())
+		if rep.Damaged() > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 	sessions, err := store.Sessions()
 	if err != nil {
@@ -44,6 +63,7 @@ func main() {
 	}
 	var dags []*core.DAG
 	var inferredSpan sim.Duration
+	degraded := false
 	for _, s := range sessions {
 		if *prefix != "" && !strings.HasPrefix(s, *prefix) {
 			continue
@@ -54,8 +74,17 @@ func main() {
 		// a multi-GB session synthesizes without ever materializing.
 		sink := core.NewSynthesizeSink()
 		var spanSink trace.SpanTracker
-		if err := store.StreamSession(s, trace.MultiSink(sink, &spanSink)); err != nil {
-			log.Fatalf("loading %s: %v", s, err)
+		if *salvage {
+			rep, err := store.SalvageSession(s, trace.MultiSink(sink, &spanSink))
+			if err != nil {
+				log.Fatalf("salvaging %s: %v", s, err)
+			}
+			if rep.Damaged() > 0 {
+				degraded = true
+			}
+			log.Print(rep.String())
+		} else if err := store.StreamSession(s, trace.MultiSink(sink, &spanSink)); err != nil {
+			log.Fatalf("loading %s: %v (re-run with -salvage to recover the undamaged prefix)", s, err)
 		}
 		first, last := spanSink.Span()
 		inferredSpan += last.Sub(first)
@@ -81,9 +110,14 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := core.WriteJSON(f, d); err != nil {
+			f.Close()
 			log.Fatal(err)
 		}
-		f.Close()
+		// A failed close means the model file is short on disk even though
+		// every write "succeeded" — that must not pass silently.
+		if err := f.Close(); err != nil {
+			log.Fatalf("closing %s: %v", *jsonOut, err)
+		}
 		log.Printf("JSON written to %s", *jsonOut)
 	}
 	if *chains {
@@ -110,6 +144,13 @@ func main() {
 			fmt.Printf("  cpu%d <- %s\n", cpu, node)
 		}
 		fmt.Printf("max core load: %.2f%%\n", 100*b.MaxLoad)
+	}
+	if degraded {
+		// The model above was synthesized from a damaged store: every
+		// complete record was used, but some events are gone. Exit nonzero
+		// so scripted pipelines notice.
+		log.Print("WARNING: one or more sessions were salvaged from damage; the model covers surviving events only")
+		os.Exit(1)
 	}
 }
 

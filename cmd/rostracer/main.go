@@ -10,6 +10,13 @@
 //
 // Each run becomes one session in the store, segmented every -segment of
 // virtual time.
+//
+// Persistence is hardened (see docs/RELIABILITY.md): segment-write
+// failures retry with bounded backoff and rotate to fresh files, events
+// spill to a bounded in-memory buffer while the disk is down, auxiliary
+// sinks (JSONL, snapshots) are fault-isolated from the trace store, and
+// SIGINT/SIGTERM flush the open segment and a final snapshot before
+// exit. A session that lost events or needed recovery exits nonzero.
 package main
 
 import (
@@ -17,12 +24,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/tracesynth/rostracer/internal/apps"
 	"github.com/tracesynth/rostracer/internal/core"
 	"github.com/tracesynth/rostracer/internal/harness"
 	"github.com/tracesynth/rostracer/internal/rclcpp"
+	"github.com/tracesynth/rostracer/internal/service"
 	"github.com/tracesynth/rostracer/internal/sim"
 	"github.com/tracesynth/rostracer/internal/trace"
 	"github.com/tracesynth/rostracer/internal/tracers"
@@ -44,6 +54,7 @@ func main() {
 	ringCapacity := flag.Int("ring-capacity", 0, "per-CPU perf ring record bound (0 = unbounded)")
 	adaptive := flag.Bool("adaptive-drain", false, "plan the drain period from per-ring pending/lost gauges instead of the fixed -segment")
 	snapshotEvery := flag.Duration("snapshot-every", 0, "synthesize and write a model snapshot (JSON + DOT) every this much virtual time (0 = off)")
+	spillCap := flag.Int("spill-capacity", 0, "bounded in-memory event spill while the disk is down (0 = default)")
 	flag.Parse()
 
 	build, err := buildFunc(*app)
@@ -55,6 +66,13 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Graceful shutdown: the drain loop checks this between segments and,
+	// when signalled, flushes the open segment and final snapshot before
+	// exiting instead of leaving a partial session behind.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	exit := 0
 	for run := 0; run < *runs; run++ {
 		session := fmt.Sprintf("%s-run%03d", *app, run)
 		cfg := runConfig{
@@ -63,12 +81,28 @@ func main() {
 			filtered: !*unfilteredKernel, jsonl: *jsonl, outDir: *out,
 			ringCapacity: *ringCapacity, adaptive: *adaptive,
 			snapshotEvery: sim.Duration(*snapshotEvery),
+			spillCapacity: *spillCap,
+			interrupt:     sigCh,
 		}
-		if err := traceOneRun(store, session, build, cfg); err != nil {
+		degraded, interrupted, err := traceOneRun(store, session, build, cfg)
+		if err != nil {
 			log.Fatalf("run %d: %v", run, err)
 		}
-		log.Printf("session %s written to %s", session, *out)
+		if degraded {
+			// The session completed but lost events or needed recovery:
+			// say so and make the whole invocation fail loudly rather
+			// than silently truncating.
+			log.Printf("session %s written to %s (DEGRADED)", session, *out)
+			exit = 1
+		} else {
+			log.Printf("session %s written to %s", session, *out)
+		}
+		if interrupted {
+			log.Printf("interrupted: flushed session %s, skipping remaining runs", session)
+			break
+		}
 	}
+	os.Exit(exit)
 }
 
 // runConfig carries one session's tracing parameters.
@@ -83,6 +117,8 @@ type runConfig struct {
 	ringCapacity  int
 	adaptive      bool
 	snapshotEvery sim.Duration
+	spillCapacity int
+	interrupt     <-chan os.Signal
 }
 
 func buildFunc(app string) (func(*rclcpp.World), error) {
@@ -97,45 +133,51 @@ func buildFunc(app string) (func(*rclcpp.World), error) {
 	return nil, fmt.Errorf("unknown app %q (want avp, syn, or both)", app)
 }
 
-func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), cfg runConfig) (retErr error) {
+func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), cfg runConfig) (degraded, interrupted bool, retErr error) {
 	w := rclcpp.NewWorld(rclcpp.Config{NumCPUs: cfg.cpus, Seed: cfg.seed})
 	b, err := tracers.NewBundleCapacity(w.Runtime(), cfg.ringCapacity)
 	if err != nil {
-		return err
+		return false, false, err
 	}
 	tracers.BridgeSched(w.Machine(), w.Runtime())
 	if err := b.StartInit(); err != nil {
-		return err
+		return false, false, err
 	}
 	if err := b.StartRT(); err != nil {
-		return err
+		return false, false, err
 	}
 	if err := b.StartKernel(cfg.filtered); err != nil {
-		return err
+		return false, false, err
 	}
 	build(w)
 	b.StopInit()
 
 	// The periodic-drain loop is fully streaming, disk included: each
-	// period's ring segments decode and merge directly into a
-	// SegmentWriter on the store (and, when asked, the JSONL sink and the
-	// online synthesis service), so peak memory is one event per ring —
-	// never a segment, let alone the whole run. Successive drains stay
-	// globally (Time, Seq) ordered, which keeps the concatenated JSONL
-	// identical to what a whole-run merge would emit.
+	// period's ring segments decode and merge directly into the session
+	// writer on the store (and, when asked, the JSONL sink and the online
+	// synthesis service), so peak memory is one event per ring plus the
+	// writer's bounded replay buffer.
+	//
+	// Persistence goes through service.SessionWriter: write failures
+	// back off and rotate to fresh segment files, and a disk that stays
+	// down spills to a bounded in-memory buffer with exact drop
+	// accounting. Auxiliary sinks ride an IsolatingMultiSink: a failing
+	// JSONL or snapshot sink detaches with its error recorded instead of
+	// killing the drain.
 	//
 	// With -adaptive-drain the period is planned per segment by a
 	// DrainScheduler from the per-ring pending/lost gauges (-segment
 	// caps it); otherwise it is the fixed -segment.
 	var jsonlSink *trace.JSONLSink
+	var jsonlPath string
 	if cfg.jsonl {
-		jsonlPath := fmt.Sprintf("%s/%s.jsonl", cfg.outDir, session)
+		jsonlPath = fmt.Sprintf("%s/%s.jsonl", cfg.outDir, session)
 		f, err := os.Create(jsonlPath)
 		if err != nil {
-			return err
+			return false, false, err
 		}
 		defer f.Close()
-		// A run that fails mid-way must not leave a truncated .jsonl
+		// A run that fails outright must not leave a truncated .jsonl
 		// behind looking like a complete trace.
 		defer func() {
 			if retErr != nil {
@@ -166,20 +208,29 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), 
 		snapSvc = core.NewSnapshotService()
 		nextSnapAt = cfg.snapshotEvery
 	}
-	// Optional per-segment sinks as untyped-nil-safe interfaces: MultiSink
-	// drops nil entries (and collapses to the segment writer alone when
-	// neither option is on).
-	var jsink, snapSink trace.Sink
+	writer := service.NewSessionWriter(store, session, service.Policy{
+		SpillCapacity: cfg.spillCapacity,
+	})
+	sink := trace.NewIsolatingMultiSink()
+	sink.Add("store", writer)
 	if jsonlSink != nil {
-		jsink = jsonlSink
+		sink.Add("jsonl", jsonlSink)
 	}
 	if snapSvc != nil {
-		snapSink = snapSvc
+		sink.Add("snapshot", snapSvc)
 	}
 	totalEvents := 0
 	segIdx := 0
 	var prevLost uint64
 	for elapsed := sim.Duration(0); elapsed < cfg.duration; {
+		select {
+		case <-cfg.interrupt:
+			interrupted = true
+		default:
+		}
+		if interrupted {
+			break
+		}
 		step := cfg.segment
 		if sched != nil {
 			step = sched.Interval()
@@ -202,40 +253,28 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), 
 		}
 		prevLost = b.Lost()
 
-		sw, err := store.WriteSegment(session, segIdx)
-		if err != nil {
-			return err
-		}
-		sink := trace.MultiSink(sw, jsink, snapSink)
-		// A failed drain must not leave a partial segment behind: a later
-		// StreamSession/modelsynth over the session would reject it (same
-		// invariant as the truncated-.jsonl cleanup above).
+		writer.BeginSegment()
 		if err := b.StreamTo(sink); err != nil {
-			sw.Close()
-			os.Remove(sw.Path())
-			return err
+			// Only a decode failure can surface here (the sinks are
+			// isolated); the writer's open segment still flushes what it
+			// got, then the run aborts.
+			writer.Close()
+			return false, false, err
 		}
-		if err := sw.Close(); err != nil {
-			os.Remove(sw.Path())
-			return err
+		res := writer.EndSegment()
+		totalEvents += res.Persisted
+		status := ""
+		if res.Down {
+			status = "  [disk down: spilling]"
 		}
-		if jsonlSink != nil {
-			// Encoding errors are sticky in the sink; surface them at the
-			// segment that hit them instead of simulating the rest of the
-			// run first.
-			if err := jsonlSink.Err(); err != nil {
-				return err
-			}
-		}
-		totalEvents += sw.Count()
-		log.Printf("  seg %-3d t=%-12v %6d events, ring hwm cpu%d=%d, lost +%d (total %d), next period %v",
-			segIdx, sim.Duration(elapsed), sw.Count(), pendCPU, pendHWM,
-			lostDelta, b.Lost(), nextStep)
+		log.Printf("  seg %-3d t=%-12v %6d events, ring hwm cpu%d=%d, lost +%d (total %d), next period %v%s",
+			segIdx, sim.Duration(elapsed), res.Persisted, pendCPU, pendHWM,
+			lostDelta, b.Lost(), nextStep, status)
 		segIdx++
 		if snapSvc != nil && elapsed >= nextSnapAt {
 			snap := snapSvc.Snapshot()
 			if err := writeSnapshot(cfg.outDir, session, snap); err != nil {
-				return err
+				return false, false, err
 			}
 			log.Printf("  snapshot %d at t=%v: %d vertices / %d edges from %d events (%d sched folded)",
 				snap.Seq, sim.Duration(elapsed), len(snap.DAG.Vertices), len(snap.DAG.Edges()),
@@ -245,10 +284,37 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), 
 			}
 		}
 	}
+	// Shutdown — signalled or normal — flushes everything that is still
+	// open: the session writer's last segment and spill, a final
+	// snapshot, and the JSONL stream.
+	closeRes := writer.Close()
+	totalEvents += closeRes.Persisted
+	if snapSvc != nil && interrupted {
+		snap := snapSvc.Snapshot()
+		if err := writeSnapshot(cfg.outDir, session, snap); err != nil {
+			return false, false, err
+		}
+		log.Printf("  final snapshot %d: %d vertices from %d events",
+			snap.Seq, len(snap.DAG.Vertices), snap.Events)
+	}
 	if jsonlSink != nil {
 		if err := jsonlSink.Flush(); err != nil {
-			return err
+			// The sink may already have detached; either way the .jsonl
+			// is short. Report it and fail the session rather than
+			// pretending the dump is complete.
+			log.Printf("  jsonl: %v", err)
+			degraded = true
 		}
+	}
+	stats := writer.Stats()
+	if stats.Degraded() {
+		degraded = true
+		log.Printf("  WARNING: persistence degraded: %d/%d events dropped, %d rotations, %d retries, %d down spells (last error: %v)",
+			stats.Dropped, stats.Observed, stats.Rotations, stats.Retries, stats.Down, stats.LastErr)
+	}
+	for _, d := range sink.Detached() {
+		degraded = true
+		log.Printf("  WARNING: sink %q detached after %d events: %v", d.Name, d.Events, d.Err)
 	}
 	log.Printf("  %d events, %.2f MB perf payload, probe cost %.4f cores",
 		totalEvents, float64(b.TraceBytes())/1e6,
@@ -267,7 +333,7 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), 
 	if lost := b.Lost(); lost > 0 {
 		log.Printf("  WARNING: %d records lost to ring overruns", lost)
 	}
-	return nil
+	return degraded, interrupted, nil
 }
 
 // writeSnapshot persists one online-synthesis snapshot as

@@ -69,6 +69,24 @@ func (w *Writer) StructAddr() umem.Addr { return w.structAddr }
 // inside the writer descriptor.
 const WriterStructTopicPtrOff = 0
 
+// TransportFault perturbs per-delivery transport behaviour: a lossy or
+// congested network between writer and reader. Fate is consulted once
+// per (sample, reader) delivery and draws from the domain's seeded RNG,
+// so fault schedules are deterministic per seed.
+type TransportFault interface {
+	// Fate decides one delivery: drop it entirely, deliver extra duplicate
+	// copies (each with its own latency draw), and/or add extra latency to
+	// every copy.
+	Fate(rng *sim.RNG) (drop bool, dups int, extra sim.Duration)
+}
+
+// TransportFaultStats counts what a TransportFault did to a domain.
+type TransportFaultStats struct {
+	Dropped    uint64 // deliveries suppressed
+	Duplicated uint64 // extra copies delivered
+	Delayed    uint64 // deliveries given extra latency
+}
+
 // Domain is one DDS domain: the topic space and transport.
 type Domain struct {
 	eng     *sim.Engine
@@ -78,6 +96,10 @@ type Domain struct {
 	// Latency models transport delay per delivery. Defaults to a uniform
 	// 20–80 µs, the order of local-loopback DDS latencies.
 	Latency sim.Distribution
+	// Fault, when set, perturbs every delivery (drop / duplicate / extra
+	// delay). Nil in production: Write pays one nil check per reader.
+	Fault      TransportFault
+	faultStats TransportFaultStats
 	// CPUOf resolves the CPU a PID currently runs on for probe contexts;
 	// optional (defaults to CPU 0).
 	CPUOf func(pid uint32) int
@@ -194,14 +216,37 @@ func (w *Writer) Write(payload interface{}, clientID, rpcSeq uint64) *Sample {
 	d.siteWrite.FireEntry(w.pid, cpu, uint64(w.structAddr), 0, uint64(s.SrcTS))
 
 	for _, r := range d.readers[w.topic] {
-		delay := d.Latency.Sample(d.rng)
-		if delay < 0 {
-			delay = 0
+		copies := 1
+		var extra sim.Duration
+		if d.Fault != nil {
+			drop, dups, ex := d.Fault.Fate(d.rng)
+			if drop {
+				d.faultStats.Dropped++
+				continue
+			}
+			if dups > 0 {
+				copies += dups
+				d.faultStats.Duplicated += uint64(dups)
+			}
+			if ex > 0 {
+				extra = ex
+				d.faultStats.Delayed++
+			}
 		}
-		d.deliver(r, now.Add(delay), s)
+		for c := 0; c < copies; c++ {
+			delay := d.Latency.Sample(d.rng) + extra
+			if delay < 0 {
+				delay = 0
+			}
+			d.deliver(r, now.Add(delay), s)
+		}
 	}
 	return s
 }
+
+// FaultStats reports what the installed TransportFault (if any) has done
+// so far.
+func (d *Domain) FaultStats() TransportFaultStats { return d.faultStats }
 
 // deliver enqueues s for r at the due tick. Same-tick deliveries to one
 // reader coalesce into a single engine event that hands the reader its

@@ -250,6 +250,13 @@ type PerfBuffer struct {
 	capacity int     // per-ring record bound; 0 means unbounded
 	seq      *uint64 // emission counter; shared across buffers or owned
 	rings    []perfRing
+
+	// emitFault, when set, is consulted on every emission: returning true
+	// drops the record, counted lost against the emitting CPU's ring
+	// exactly like a capacity overrun. It exists for deterministic fault
+	// injection (forced lost records, overflow bursts) and is nil in
+	// production, where Emit pays one nil check for it.
+	emitFault func(cpu int) bool
 }
 
 // perfArenaChunk is the allocation granule for record payloads.
@@ -299,10 +306,19 @@ func (p *PerfBuffer) ring(cpu int) (*perfRing, int) {
 	return &p.rings[cpu], cpu
 }
 
+// SetEmitFault installs (or, with nil, removes) the per-emission fault
+// hook. Drops it forces are indistinguishable from capacity overruns:
+// counted in Lost/LostOnCPU, attributed to the emitting ring.
+func (p *PerfBuffer) SetEmitFault(hook func(cpu int) bool) { p.emitFault = hook }
+
 // Emit appends a record to the ring of the firing CPU (called by the
 // perf_event_output helper with ctx.CPU).
 func (p *PerfBuffer) Emit(cpu int, now int64, data []byte) {
 	r, cpu := p.ring(cpu)
+	if p.emitFault != nil && p.emitFault(cpu) {
+		r.lost++
+		return
+	}
 	if p.capacity > 0 && len(r.records) >= p.capacity {
 		r.lost++
 		return

@@ -1,0 +1,352 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/tracesynth/rostracer/internal/core"
+	"github.com/tracesynth/rostracer/internal/faultinject"
+	"github.com/tracesynth/rostracer/internal/rclcpp"
+	"github.com/tracesynth/rostracer/internal/service"
+	"github.com/tracesynth/rostracer/internal/sim"
+	"github.com/tracesynth/rostracer/internal/trace"
+	"github.com/tracesynth/rostracer/internal/tracers"
+)
+
+// chaosDrains is the drain-window count of the chaos session.
+const chaosDrains = 8
+
+// chaosRingCapacity bounds the per-CPU rings so injected overflow bursts
+// have realistic company (genuine capacity overruns count into the same
+// lost ledger).
+const chaosRingCapacity = 2048
+
+// chaosSpill is the session writer's bounded spill: small enough that
+// two disk-down windows overflow it, so drop accounting is exercised.
+const chaosSpill = 512
+
+// ChaosExperiment (E13) runs the full drain -> store -> synthesis
+// pipeline under a seeded fault plan on all three loss layers at once —
+// DDS transport faults (drop / duplicate / delay), forced perf-ring
+// overruns, and a scripted disk (ENOSPC mid-segment, a dead-disk spell
+// spanning two windows, a short write near the end) — and asserts exact
+// accounting rather than mere survival:
+//
+//	emitted == persisted + ring-lost + spill-dropped
+//
+// with persisted verified by reading the store back (strict decode), and
+// fsck confirming no partial record ever reached disk. Phase B then
+// damages the surviving store deterministically (a torn tail, a corrupt
+// length prefix) and asserts salvage recovers exactly the records before
+// each damage point — and that model synthesis over the salvage stream
+// is byte-identical to batch synthesis over the same surviving events.
+func ChaosExperiment(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	dir, err := os.MkdirTemp("", "rtrc-chaos-")
+	if err != nil {
+		return Result{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	store, err := trace.NewStore(dir)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// The fault plan. Disk script, by file open: window 1's segment hits
+	// ENOSPC after 8 KB (rotate + replay); window 3's segment and every
+	// retry for two windows is a dead disk (spill, then overflow drops);
+	// the last window's segment takes a short write (rotate + replay).
+	failAll := []faultinject.WriteFault{{Kind: faultinject.WriteFailAll}}
+	disk := faultinject.NewDisk(
+		nil, // window 0: healthy
+		[]faultinject.WriteFault{{Kind: faultinject.WriteFailAfter, N: 8 << 10}}, // window 1
+		nil,              // window 1 rotation target
+		nil,              // window 2
+		failAll,          // window 3: down...
+		failAll, failAll, // ...and both recovery attempts fail
+		failAll, failAll, // window 4: still down
+		nil, // window 5: disk back; replay spill
+		nil, // window 6
+		[]faultinject.WriteFault{{Kind: faultinject.WriteShortAt, N: 3}}, // window 7
+	)
+	store.WrapWriter = disk.Wrap
+	ring := faultinject.NewRingFault(cfg.Seed+7, 0.01,
+		faultinject.Burst{AtOp: 2000, Len: 300})
+	transport := &faultinject.Transport{
+		DropProb: 0.02, DupProb: 0.02, DelayProb: 0.05,
+		ExtraDelay: 2 * sim.Millisecond,
+	}
+	plan := faultinject.Plan{Disk: disk, Ring: ring, Transport: transport}
+
+	// The traced world, with every fault layer wired to its hook before
+	// the first emission so the emitted count covers the whole session.
+	w := rclcpp.NewWorld(rclcpp.Config{NumCPUs: cfg.CPUs, Seed: cfg.Seed})
+	b, err := tracers.NewBundleCapacity(w.Runtime(), chaosRingCapacity)
+	if err != nil {
+		return Result{}, err
+	}
+	b.SetRingFault(plan.Ring.Hook())
+	w.Domain().Fault = plan.Transport
+	tracers.BridgeSched(w.Machine(), w.Runtime())
+	if err := b.StartInit(); err != nil {
+		return Result{}, err
+	}
+	if err := b.StartRT(); err != nil {
+		return Result{}, err
+	}
+	if err := b.StartKernel(true); err != nil {
+		return Result{}, err
+	}
+	BuildBoth(1)(w)
+	b.StopInit()
+
+	const session = "chaos"
+	sleeps := 0
+	writer := service.NewSessionWriter(store, session, service.Policy{
+		MaxAttempts:   2,
+		SpillCapacity: chaosSpill,
+		Sleep:         func(time.Duration) { sleeps++ },
+	})
+	var elapsed sim.Duration
+	for k := 1; k <= chaosDrains; k++ {
+		target := cfg.Duration * sim.Duration(k) / chaosDrains
+		w.Run(target - elapsed)
+		elapsed = target
+		writer.BeginSegment()
+		if err := b.StreamTo(writer); err != nil {
+			return Result{}, err
+		}
+		writer.EndSegment()
+	}
+	writer.Close()
+
+	stats := writer.Stats()
+	emitted := plan.Ring.Ops()
+	lost := b.Lost()
+	ts := w.Domain().FaultStats()
+
+	var sb strings.Builder
+	ok := true
+	var notes []string
+	flunk := func(format string, args ...interface{}) {
+		ok = false
+		notes = append(notes, fmt.Sprintf(format, args...))
+	}
+
+	fmt.Fprintf(&sb, "workload: SYN + AVP, %v, %d CPUs; %d drain windows, ring capacity %d, spill %d\n",
+		cfg.Duration, cfg.CPUs, chaosDrains, chaosRingCapacity, chaosSpill)
+	fmt.Fprintf(&sb, "transport faults: %d dropped, %d duplicated, %d delayed\n",
+		ts.Dropped, ts.Duplicated, ts.Delayed)
+	fmt.Fprintf(&sb, "ring faults:      %d forced lost of %d emissions (total lost %d)\n",
+		plan.Ring.Drops(), emitted, lost)
+	fmt.Fprintf(&sb, "disk faults:      %d file opens for %d windows; %d rotations, %d retries (%d backoffs), %d down rounds\n",
+		plan.Disk.Opens(), chaosDrains, stats.Rotations, stats.Retries, sleeps, stats.Down)
+	fmt.Fprintf(&sb, "ledger:           emitted %d == persisted %d + ring-lost %d + spill-dropped %d\n",
+		emitted, stats.Persisted, lost, stats.Dropped)
+
+	// Exact accounting: every emission is persisted, counted lost on a
+	// ring, or counted dropped by the writer — nothing vanishes.
+	if emitted != stats.Persisted+lost+stats.Dropped {
+		flunk("ledger broken: emitted %d != persisted %d + lost %d + dropped %d",
+			emitted, stats.Persisted, lost, stats.Dropped)
+	}
+	if writer.Pending() != 0 {
+		flunk("writer closed with %d events pending", writer.Pending())
+	}
+	// Every fault layer must actually have fired, or the run proves
+	// nothing.
+	if ts.Dropped == 0 || ts.Duplicated == 0 || ts.Delayed == 0 {
+		flunk("transport fault idle: %+v", ts)
+	}
+	if plan.Ring.Drops() == 0 {
+		flunk("ring fault idle")
+	}
+	if stats.Rotations < 2 || stats.Down < 2 || stats.Dropped == 0 {
+		flunk("disk degradation too mild: %d rotations, %d down rounds, %d dropped",
+			stats.Rotations, stats.Down, stats.Dropped)
+	}
+
+	// The store must read back strictly — the persisted count is real and
+	// no partial record ever survived a failed segment.
+	var kc trace.KindCounter
+	if err := store.StreamSession(session, &kc); err != nil {
+		flunk("strict readback failed: %v", err)
+	} else if uint64(kc.Total()) != stats.Persisted {
+		flunk("readback %d events, writer persisted %d", kc.Total(), stats.Persisted)
+	}
+	fsck, err := store.Fsck()
+	if err != nil {
+		return Result{}, err
+	}
+	if !fsck.Clean() {
+		flunk("fsck found %d damaged segments in the surviving store", fsck.Damaged())
+	}
+	fmt.Fprintf(&sb, "readback:         %d events (strict decode), fsck clean over %d segments\n",
+		kc.Total(), stats.Segments)
+
+	// Phase B: damage the surviving store deterministically and salvage.
+	segs, err := filepath.Glob(filepath.Join(dir, session+"-*.rtrc"))
+	if err != nil {
+		return Result{}, err
+	}
+	sort.Strings(segs)
+	type segInfo struct {
+		path     string
+		total    int // records
+		size     int64
+		keep     int   // records surviving the damage
+		boundary int64 // damage offset (record boundary)
+	}
+	var candidates []segInfo
+	for _, p := range segs {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return Result{}, err
+		}
+		total, _, err := walkSegment(data, -1)
+		if err != nil {
+			return Result{}, err
+		}
+		if total >= 4 {
+			candidates = append(candidates, segInfo{path: p, total: total, size: int64(len(data))})
+		}
+	}
+	if len(candidates) < 2 {
+		flunk("need 2 segments with >= 4 records to damage, have %d", len(candidates))
+	}
+	wantSalvaged := int(stats.Persisted)
+	var torn, corrupt segInfo
+	if len(candidates) >= 2 {
+		// Tear the tail off the first candidate two bytes into a length
+		// prefix, and blow up a length prefix of the last one.
+		torn, corrupt = candidates[0], candidates[len(candidates)-1]
+		torn.keep = torn.total / 2
+		_, torn.boundary, err = walkSegment(mustRead(torn.path), torn.keep)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := os.Truncate(torn.path, torn.boundary+2); err != nil {
+			return Result{}, err
+		}
+		corrupt.keep = corrupt.total / 2
+		_, corrupt.boundary, err = walkSegment(mustRead(corrupt.path), corrupt.keep)
+		if err != nil {
+			return Result{}, err
+		}
+		f, err := os.OpenFile(corrupt.path, os.O_WRONLY, 0)
+		if err != nil {
+			return Result{}, err
+		}
+		if _, err := f.WriteAt([]byte{0xff, 0xff, 0xff, 0xff}, corrupt.boundary); err != nil {
+			f.Close()
+			return Result{}, err
+		}
+		if err := f.Close(); err != nil {
+			return Result{}, err
+		}
+		wantSalvaged -= (torn.total - torn.keep) + (corrupt.total - corrupt.keep)
+		fmt.Fprintf(&sb, "damage:           tore %s at %d/%d records, corrupted %s at %d/%d\n",
+			filepath.Base(torn.path), torn.keep, torn.total,
+			filepath.Base(corrupt.path), corrupt.keep, corrupt.total)
+	}
+
+	// Salvage must recover exactly the records before each damage point,
+	// classify both damage causes, and feed synthesis the same stream a
+	// batch pass over the surviving events would see.
+	salvSink := core.NewSynthesizeSink()
+	var collected []trace.Event
+	rep, err := store.SalvageSession(session, trace.MultiSink(salvSink,
+		trace.SinkFunc(func(e trace.Event) { collected = append(collected, e) })))
+	if err != nil {
+		return Result{}, err
+	}
+	fmt.Fprint(&sb, rep.String())
+	if rep.Events() != wantSalvaged || len(collected) != wantSalvaged {
+		flunk("salvage recovered %d events (collected %d), want %d",
+			rep.Events(), len(collected), wantSalvaged)
+	}
+	if rep.Damaged() != 2 {
+		flunk("salvage report: %d damaged segments, want 2", rep.Damaged())
+	}
+	for _, s := range rep.Segments {
+		switch filepath.Join(dir, s.Name) {
+		case torn.path:
+			if s.Cause != "truncated" || s.Events != torn.keep || s.BytesDropped != 2 {
+				flunk("torn segment report wrong: %+v", s)
+			}
+		case corrupt.path:
+			if s.Cause != "corrupt" || s.Events != corrupt.keep ||
+				s.BytesDropped != corrupt.size-corrupt.boundary {
+				flunk("corrupt segment report wrong: %+v", s)
+			}
+		default:
+			if s.Damaged {
+				flunk("undamaged segment %s reported damaged: %s", s.Name, s.Cause)
+			}
+		}
+	}
+	fsck2, err := store.Fsck()
+	if err != nil {
+		return Result{}, err
+	}
+	if fsck2.Damaged() != 2 {
+		flunk("post-damage fsck found %d damaged segments, want 2", fsck2.Damaged())
+	}
+
+	// Streaming salvage synthesis == batch synthesis over the survivors.
+	batchSink := core.NewSynthesizeSink()
+	for _, e := range collected {
+		batchSink.Observe(e)
+	}
+	salvSummary := core.Summary(salvSink.DAG())
+	batchSummary := core.Summary(batchSink.DAG())
+	if salvSummary != batchSummary {
+		flunk("salvage-stream synthesis diverges from batch synthesis over the same events")
+	}
+	fmt.Fprintf(&sb, "synthesis over salvage stream: %d vertices / %d edges, byte-identical to batch\n",
+		len(salvSink.DAG().Vertices), len(salvSink.DAG().Edges()))
+
+	return Result{ID: "chaos",
+		Title: "Fault injection: exact accounting under transport, ring, and disk faults",
+		Text:  sb.String(), OK: ok, Notes: notes}, nil
+}
+
+// walkSegment walks a segment's records with the production cursor. With
+// stopAt < 0 it returns the record count; with stopAt >= 0 it also
+// returns the byte offset just past record stopAt (a record boundary).
+func walkSegment(data []byte, stopAt int) (total int, boundary int64, err error) {
+	fc := trace.NewFileCursor(bytes.NewReader(data))
+	for {
+		_, ok, err := fc.Next()
+		if err != nil {
+			return total, boundary, err
+		}
+		if !ok {
+			break
+		}
+		total++
+		if total == stopAt {
+			boundary = fc.BytesConsumed()
+		}
+	}
+	if stopAt < 0 || boundary > 0 {
+		return total, boundary, nil
+	}
+	return total, boundary, fmt.Errorf("chaos: segment has %d records, want boundary after %d", total, stopAt)
+}
+
+// mustRead re-reads a segment the experiment already read once; the
+// second read cannot meaningfully fail on a file we just held.
+func mustRead(path string) []byte {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}

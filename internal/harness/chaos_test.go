@@ -1,0 +1,24 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tracesynth/rostracer/internal/sim"
+)
+
+func TestChaosExperiment(t *testing.T) {
+	r, err := ChaosExperiment(Config{Runs: 1, Duration: 4 * sim.Second, CPUs: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	if !r.OK {
+		t.Fatalf("chaos experiment not OK: %v", r.Notes)
+	}
+	for _, want := range []string{"ledger:", "fsck clean", "byte-identical to batch"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("chaos text missing %q", want)
+		}
+	}
+}

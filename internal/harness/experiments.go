@@ -793,7 +793,7 @@ func All(cfg Config) ([]Result, error) {
 		TableIExperiment, Fig3aExperiment, Fig3bExperiment, TableIIExperiment,
 		Fig4Experiment, OverheadsExperiment, Fig2Experiment,
 		AblationServiceExperiment, AblationSyncExperiment, ValidationExperiment,
-		CapacityPlanExperiment, AdaptiveDrainExperiment,
+		CapacityPlanExperiment, AdaptiveDrainExperiment, ChaosExperiment,
 	} {
 		r, err := e(cfg)
 		if err != nil {

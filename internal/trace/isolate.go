@@ -1,0 +1,82 @@
+package trace
+
+// Per-sink fault isolation: MultiSink fans a stream out blindly, so one
+// sink with a sticky error (a JSONL file on a full disk, say) either
+// goes unnoticed or — if the caller polls it — kills the whole drain,
+// trace store included. IsolatingMultiSink watches each fallible sink's
+// sticky error after every delivery and detaches the sink on the first
+// one: the stream keeps flowing to the healthy sinks, and the detachment
+// (with its cause and how many events the sink got) is reported at the
+// end instead of aborting the session.
+
+// ErrSink is a Sink with a sticky first-error, the contract
+// SegmentWriter and JSONLSink already follow. Sinks that cannot fail
+// (counters, model builders) simply don't implement it and are never
+// detached.
+type ErrSink interface {
+	Sink
+	Err() error
+}
+
+// Detachment records one sink removed from an IsolatingMultiSink.
+type Detachment struct {
+	Name   string
+	Events int // events delivered before the sink failed
+	Err    error
+}
+
+// isoSink is one attached sink with its detachment bookkeeping.
+type isoSink struct {
+	name string
+	sink Sink
+	es   ErrSink // non-nil iff the sink is fallible
+	n    int
+}
+
+// IsolatingMultiSink fans one stream out to named sinks, detaching any
+// fallible sink whose sticky error trips instead of propagating the
+// failure into the drain.
+type IsolatingMultiSink struct {
+	sinks    []isoSink
+	detached []Detachment
+}
+
+// NewIsolatingMultiSink creates an empty fan-out; attach sinks with Add.
+func NewIsolatingMultiSink() *IsolatingMultiSink {
+	return &IsolatingMultiSink{}
+}
+
+// Add attaches a named sink. Nil sinks are ignored, so optional sinks
+// can be passed directly.
+func (m *IsolatingMultiSink) Add(name string, s Sink) {
+	if s == nil {
+		return
+	}
+	is := isoSink{name: name, sink: s}
+	if es, ok := s.(ErrSink); ok {
+		is.es = es
+	}
+	m.sinks = append(m.sinks, is)
+}
+
+// Observe implements Sink: deliver to every live sink, then detach the
+// ones whose sticky error tripped. The error poll is one interface call
+// reading a struct field — noise next to the delivery itself.
+func (m *IsolatingMultiSink) Observe(e Event) {
+	for i := 0; i < len(m.sinks); i++ {
+		s := &m.sinks[i]
+		s.sink.Observe(e)
+		s.n++
+		if s.es != nil && s.es.Err() != nil {
+			m.detached = append(m.detached, Detachment{Name: s.name, Events: s.n, Err: s.es.Err()})
+			m.sinks = append(m.sinks[:i], m.sinks[i+1:]...)
+			i--
+		}
+	}
+}
+
+// Live reports how many sinks are still attached.
+func (m *IsolatingMultiSink) Live() int { return len(m.sinks) }
+
+// Detached reports the sinks removed so far, in detachment order.
+func (m *IsolatingMultiSink) Detached() []Detachment { return m.detached }

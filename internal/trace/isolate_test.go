@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+)
+
+// flakySink fails stickily after accepting failAfter events.
+type flakySink struct {
+	n         int
+	failAfter int
+	err       error
+}
+
+func (f *flakySink) Observe(Event) {
+	f.n++
+	if f.n >= f.failAfter && f.err == nil {
+		f.err = errors.New("sink broke")
+	}
+}
+func (f *flakySink) Err() error { return f.err }
+
+func TestIsolatingMultiSinkDetachesFailingSink(t *testing.T) {
+	var healthy collectSink
+	flaky := &flakySink{failAfter: 3}
+	m := NewIsolatingMultiSink()
+	m.Add("healthy", &healthy)
+	m.Add("flaky", flaky)
+	m.Add("nil", nil) // ignored
+
+	if m.Live() != 2 {
+		t.Fatalf("live = %d, want 2 (nil sink must be ignored)", m.Live())
+	}
+	for _, e := range seqEvents(10, 0, 1) {
+		m.Observe(e)
+	}
+	if m.Live() != 1 {
+		t.Fatalf("live = %d after failure, want 1", m.Live())
+	}
+	if len(healthy.events) != 10 {
+		t.Fatalf("healthy sink got %d events, want all 10", len(healthy.events))
+	}
+	if flaky.n != 3 {
+		t.Fatalf("flaky sink got %d events after detaching, want 3", flaky.n)
+	}
+	det := m.Detached()
+	if len(det) != 1 || det[0].Name != "flaky" || det[0].Events != 3 || det[0].Err == nil {
+		t.Fatalf("detachments = %+v", det)
+	}
+}
+
+func TestIsolatingMultiSinkInfallibleSinksNeverDetach(t *testing.T) {
+	var a, b collectSink
+	m := NewIsolatingMultiSink()
+	m.Add("a", &a)
+	m.Add("b", &b)
+	for _, e := range seqEvents(5, 0, 1) {
+		m.Observe(e)
+	}
+	if m.Live() != 2 || len(m.Detached()) != 0 {
+		t.Fatalf("infallible sinks detached: live=%d detached=%v", m.Live(), m.Detached())
+	}
+	if len(a.events) != 5 || len(b.events) != 5 {
+		t.Fatalf("deliveries lost: a=%d b=%d", len(a.events), len(b.events))
+	}
+}
+
+func TestIsolatingMultiSinkBothFailSameEvent(t *testing.T) {
+	f1 := &flakySink{failAfter: 2}
+	f2 := &flakySink{failAfter: 2}
+	m := NewIsolatingMultiSink()
+	m.Add("f1", f1)
+	m.Add("f2", f2)
+	for _, e := range seqEvents(4, 0, 1) {
+		m.Observe(e)
+	}
+	if m.Live() != 0 {
+		t.Fatalf("live = %d, want 0", m.Live())
+	}
+	det := m.Detached()
+	if len(det) != 2 || det[0].Name != "f1" || det[1].Name != "f2" {
+		t.Fatalf("detachments = %+v", det)
+	}
+	// Neither sink saw anything past its failing event.
+	if f1.n != 2 || f2.n != 2 {
+		t.Fatalf("events after detach: f1=%d f2=%d, want 2/2", f1.n, f2.n)
+	}
+}

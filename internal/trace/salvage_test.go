@@ -1,0 +1,311 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/tracesynth/rostracer/internal/sim"
+)
+
+// seqEvents returns n (Time, Seq)-ordered events starting at (t0, s0).
+func seqEvents(n int, t0 sim.Time, s0 uint64) []Event {
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = Event{
+			Time: t0 + sim.Time(i)*10, Seq: s0 + uint64(i),
+			PID: 100, Kind: KindSubCBStart, Topic: "t",
+		}
+	}
+	return out
+}
+
+// writeSessionSegment stores one sorted segment and returns its path.
+func writeSessionSegment(t *testing.T, s *Store, session string, idx int, events []Event) string {
+	t.Helper()
+	sw, err := s.WriteSegment(session, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		sw.Observe(e)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return sw.Path()
+}
+
+// collectSink gathers events for assertions.
+type collectSink struct{ events []Event }
+
+func (c *collectSink) Observe(e Event) { c.events = append(c.events, e) }
+
+func TestSalvageCleanSessionMatchesStreamSession(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSessionSegment(t, s, "ok", 0, seqEvents(5, 0, 1))
+	writeSessionSegment(t, s, "ok", 1, seqEvents(5, 1000, 100))
+
+	var strict, salvaged collectSink
+	if err := s.StreamSession("ok", &strict); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.SalvageSession("ok", &salvaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Damaged() != 0 || rep.BytesDropped() != 0 {
+		t.Fatalf("clean session reported damaged: %s", rep)
+	}
+	if !reflect.DeepEqual(strict.events, salvaged.events) {
+		t.Fatalf("salvage of a clean session diverges from strict read")
+	}
+	if rep.Events() != len(strict.events) {
+		t.Fatalf("report events %d, want %d", rep.Events(), len(strict.events))
+	}
+}
+
+// truncateMidRecord cuts a segment file a few bytes into its (keep+1)-th
+// record and returns the boundary offset after record keep.
+func truncateMidRecord(t *testing.T, path string, keep int) int64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := NewFileCursor(bytes.NewReader(data))
+	for i := 0; i < keep; i++ {
+		if _, ok, err := fc.Next(); err != nil || !ok {
+			t.Fatalf("segment too short to keep %d records (err=%v)", keep, err)
+		}
+	}
+	boundary := fc.BytesConsumed()
+	if err := os.Truncate(path, boundary+2); err != nil {
+		t.Fatal(err)
+	}
+	return boundary
+}
+
+func TestSalvageTruncatedSegment(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := seqEvents(4, 0, 1)
+	second := seqEvents(6, 1000, 100)
+	writeSessionSegment(t, s, "tear", 0, first)
+	p1 := writeSessionSegment(t, s, "tear", 1, second)
+	truncateMidRecord(t, p1, 2)
+
+	// The strict path must refuse the session...
+	if err := s.StreamSession("tear", &collectSink{}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("strict read of torn session: err=%v, want ErrTruncated", err)
+	}
+	// ...and salvage must recover everything before the damage point.
+	var got collectSink
+	rep, err := s.SalvageSession("tear", &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]Event(nil), first...), second[:2]...)
+	if !reflect.DeepEqual(got.events, want) {
+		t.Fatalf("salvaged %d events, want %d (all of seg0 + 2 of seg1)", len(got.events), len(want))
+	}
+	if rep.Damaged() != 1 {
+		t.Fatalf("damaged = %d, want 1", rep.Damaged())
+	}
+	seg := rep.Segments[1]
+	if seg.Cause != "truncated" || !errors.Is(seg.Err, ErrTruncated) {
+		t.Fatalf("cause = %q (err %v), want truncated", seg.Cause, seg.Err)
+	}
+	if seg.Events != 2 || seg.BytesDropped != 2 {
+		t.Fatalf("segment report: %+v; want 2 events, 2 bytes dropped", seg)
+	}
+	if !strings.Contains(rep.String(), "[truncated]") {
+		t.Fatalf("report text missing cause: %s", rep)
+	}
+}
+
+func TestSalvageCorruptAndBadMagic(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := writeSessionSegment(t, s, "rot", 0, seqEvents(4, 0, 1))
+	p1 := writeSessionSegment(t, s, "rot", 1, seqEvents(4, 1000, 100))
+
+	// Segment 0: implausible length prefix on record 3.
+	data, err := os.ReadFile(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := NewFileCursor(bytes.NewReader(data))
+	fc.Next()
+	fc.Next()
+	binary.LittleEndian.PutUint32(data[fc.BytesConsumed():], 1<<30)
+	if err := os.WriteFile(p0, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Segment 1: stomp the magic.
+	data1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data1, "XXXXXX")
+	if err := os.WriteFile(p1, data1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var got collectSink
+	rep, err := s.SalvageSession("rot", &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.events) != 2 {
+		t.Fatalf("salvaged %d events, want 2 (prefix of seg0 only)", len(got.events))
+	}
+	if rep.Segments[0].Cause != "corrupt" || !errors.Is(rep.Segments[0].Err, ErrCorrupt) {
+		t.Fatalf("seg0 cause = %q (%v), want corrupt", rep.Segments[0].Cause, rep.Segments[0].Err)
+	}
+	if rep.Segments[1].Cause != "bad-magic" || rep.Segments[1].Events != 0 {
+		t.Fatalf("seg1 report: %+v, want bad-magic with 0 events", rep.Segments[1])
+	}
+	if rep.Segments[1].BytesDropped != int64(len(data1)) {
+		t.Fatalf("seg1 dropped %d bytes, want the whole file (%d)", rep.Segments[1].BytesDropped, len(data1))
+	}
+}
+
+func TestSalvageUnorderedSegment(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := s.WriteSegment("ooo", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Observe(Event{Time: 100, Seq: 5, Kind: KindSubCBStart})
+	sw.Observe(Event{Time: 50, Seq: 1, Kind: KindSubCBStart}) // regression
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.SalvageSession("ooo", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Segments[0].Cause != "unordered" || rep.Segments[0].Events != 1 {
+		t.Fatalf("report: %+v, want unordered with 1 event", rep.Segments[0])
+	}
+}
+
+func TestFsckClassifiesAcrossSessions(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSessionSegment(t, s, "a", 0, seqEvents(3, 0, 1))
+	p := writeSessionSegment(t, s, "b", 0, seqEvents(5, 0, 1))
+	writeSessionSegment(t, s, "b", 1, seqEvents(5, 1000, 100))
+	truncateMidRecord(t, p, 1)
+
+	rep, err := s.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() || rep.Damaged() != 1 {
+		t.Fatalf("fsck damaged = %d, want 1", rep.Damaged())
+	}
+	if len(rep.Sessions) != 2 {
+		t.Fatalf("fsck covered %d sessions, want 2", len(rep.Sessions))
+	}
+	for _, sess := range rep.Sessions {
+		for _, seg := range sess.Segments {
+			if seg.Damaged && seg.Cause != "truncated" {
+				t.Fatalf("unexpected cause %q for %s", seg.Cause, seg.Name)
+			}
+		}
+	}
+	if !strings.Contains(rep.String(), "session a:") || !strings.Contains(rep.String(), "session b:") {
+		t.Fatalf("fsck text missing sessions:\n%s", rep)
+	}
+}
+
+// TestSegmentOrderPastZeroPadding pins the numeric ordering of segment
+// files: %04d zero-padding runs out at segment 10000, where a
+// lexicographic sort would put "10000" before "9999" — breaking the
+// merge's same-(Time, Seq) tie-resolution to the earlier segment.
+func TestSegmentOrderPastZeroPadding(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical (Time, Seq) in both segments: the merge breaks the tie to
+	// the earlier cursor, so output order is observable segment order.
+	mk := func(node string) []Event {
+		return []Event{{Time: 7, Seq: 3, Kind: KindCreateNode, Node: node}}
+	}
+	writeSessionSegment(t, s, "roll", 10000, mk("later"))
+	writeSessionSegment(t, s, "roll", 9999, mk("earlier"))
+
+	names, err := s.segmentNames("roll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"roll-9999.rtrc", "roll-10000.rtrc"}) {
+		t.Fatalf("segment order = %v, want numeric [9999 10000]", names)
+	}
+	var got collectSink
+	if err := s.StreamSession("roll", &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.events) != 2 || got.events[0].Node != "earlier" || got.events[1].Node != "later" {
+		t.Fatalf("merge order wrong: %v", got.events)
+	}
+	// The session listing must survive the suffix widening too.
+	sessions, err := s.Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sessions, []string{"roll"}) {
+		t.Fatalf("sessions = %v, want [roll]", sessions)
+	}
+	// Salvage and fsck see the same ordering.
+	rep, err := s.SalvageSession("roll", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Segments[0].Name != "roll-9999.rtrc" {
+		t.Fatalf("salvage order = %v", []string{rep.Segments[0].Name, rep.Segments[1].Name})
+	}
+}
+
+func TestSalvageReaderPlain(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewSegmentWriter(&buf)
+	for _, e := range seqEvents(3, 0, 1) {
+		sw.Observe(e)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Len()
+	data := append(buf.Bytes(), 0xde, 0xad) // torn tail
+	var got collectSink
+	rep := SalvageReader(bytes.NewReader(data), &got)
+	if len(got.events) != 3 || rep.Events != 3 {
+		t.Fatalf("recovered %d events, want 3", rep.Events)
+	}
+	if !rep.Damaged || rep.Cause != "truncated" {
+		t.Fatalf("report: %+v, want truncated", rep)
+	}
+	if rep.BytesRecovered != int64(full) {
+		t.Fatalf("bytes recovered %d, want %d", rep.BytesRecovered, full)
+	}
+}

@@ -3,10 +3,25 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
 	"github.com/tracesynth/rostracer/internal/sim"
+)
+
+// Damage classification sentinels: every FileCursor decode failure wraps
+// exactly one of these, so salvage and fsck can classify what went wrong
+// with errors.Is instead of matching message strings. The distinction
+// matters operationally — a truncated segment is a crashed writer (its
+// prefix is trustworthy), a corrupt one is media damage (the prefix is
+// trustworthy only up to the damage point), a bad magic is not a segment
+// at all, and an unordered segment was written by a broken producer.
+var (
+	ErrBadMagic  = errors.New("trace: bad segment magic")
+	ErrTruncated = errors.New("trace: segment truncated mid-record")
+	ErrCorrupt   = errors.New("trace: corrupt segment record")
+	ErrUnordered = errors.New("trace: segment records out of (Time, Seq) order")
 )
 
 // Streaming persistence: SegmentWriter is the Sink side of the trace
@@ -94,6 +109,20 @@ func (sw *SegmentWriter) Path() string { return sw.path }
 // Err reports the first write or encode error, if any.
 func (sw *SegmentWriter) Err() error { return sw.err }
 
+// Flush forces buffered output down to the destination, reporting the
+// stream's first error. Observe buffers (bufio), so a destination
+// failure normally surfaces records later, at a buffer boundary or at
+// Close; a recovery path that must know now whether a fresh segment's
+// disk is writable flushes right after opening instead of discovering
+// the answer mid-drain.
+func (sw *SegmentWriter) Flush() error {
+	if sw.closed || sw.err != nil {
+		return sw.err
+	}
+	sw.err = sw.bw.Flush()
+	return sw.err
+}
+
 // Close flushes buffered output (and closes the destination when the
 // writer owns it), reporting the first error of the whole stream. Close
 // is idempotent.
@@ -139,6 +168,11 @@ type FileCursor struct {
 	err      error
 	started  bool
 	done     bool
+	// consumed counts the bytes of the stream covered by the magic header
+	// and every fully decoded record — the length of the longest prefix
+	// that is itself a valid segment. Salvage uses it to report how many
+	// bytes of a damaged segment were recovered vs dropped.
+	consumed int64
 }
 
 // NewFileCursor opens a cursor over a .rtrc stream. The magic header is
@@ -169,45 +203,53 @@ func (c *FileCursor) Next() (Event, bool, error) {
 		c.started = true
 		var magic [len(binMagic)]byte
 		if _, err := io.ReadFull(c.br, magic[:]); err != nil {
-			return c.fail(fmt.Errorf("trace: reading magic: %w", err))
+			return c.fail(fmt.Errorf("%w: reading magic: %w", ErrTruncated, err))
 		}
 		if string(magic[:]) != binMagic {
-			return c.fail(fmt.Errorf("trace: bad magic %q", magic))
+			return c.fail(fmt.Errorf("%w: %q", ErrBadMagic, magic))
 		}
+		c.consumed = int64(len(binMagic))
 	}
 	if _, err := io.ReadFull(c.br, c.lenBuf[:]); err != nil {
 		if err == io.EOF {
 			c.done = true
 			return Event{}, false, nil
 		}
-		return c.fail(err)
+		return c.fail(fmt.Errorf("%w: record length: %w", ErrTruncated, err))
 	}
 	n := binary.LittleEndian.Uint32(c.lenBuf[:])
 	if n < recFixedSize || n > 1<<20 {
-		return c.fail(fmt.Errorf("trace: implausible record length %d", n))
+		return c.fail(fmt.Errorf("%w: implausible record length %d", ErrCorrupt, n))
 	}
 	if cap(c.buf) < int(n) {
 		c.buf = make([]byte, n)
 	}
 	buf := c.buf[:n]
 	if _, err := io.ReadFull(c.br, buf); err != nil {
-		return c.fail(fmt.Errorf("trace: truncated record: %w", err))
+		return c.fail(fmt.Errorf("%w: record body: %w", ErrTruncated, err))
 	}
 	// decodeRecord interns the string fields, so the record buffer can be
 	// reused for the next Next.
 	ev, err := decodeRecord(buf)
 	if err != nil {
-		return c.fail(err)
+		return c.fail(fmt.Errorf("%w: %w", ErrCorrupt, err))
 	}
 	if c.strict {
 		if c.prevSet && (ev.Time < c.prevTime || (ev.Time == c.prevTime && ev.Seq < c.prevSeq)) {
-			return c.fail(fmt.Errorf("trace: record out of (Time, Seq) order: (%d, %d) after (%d, %d)",
-				ev.Time, ev.Seq, c.prevTime, c.prevSeq))
+			return c.fail(fmt.Errorf("%w: (%d, %d) after (%d, %d)",
+				ErrUnordered, ev.Time, ev.Seq, c.prevTime, c.prevSeq))
 		}
 		c.prevTime, c.prevSeq, c.prevSet = ev.Time, ev.Seq, true
 	}
+	c.consumed += int64(4 + n)
 	return ev, true, nil
 }
+
+// BytesConsumed reports the length of the longest stream prefix covered
+// by the magic header and fully decoded records. For an undamaged
+// segment read to the end this is the whole file; for a damaged one it
+// marks the damage point — everything past it is what salvage drops.
+func (c *FileCursor) BytesConsumed() int64 { return c.consumed }
 
 // Err reports the first decode error, if any.
 func (c *FileCursor) Err() error { return c.err }

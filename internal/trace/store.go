@@ -2,9 +2,12 @@ package trace
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // Store is the "trace database" of Fig. 2: a directory of trace segments
@@ -18,6 +21,16 @@ import (
 // wrappers over those paths.
 type Store struct {
 	dir string
+
+	// WrapWriter, when set, wraps the file every WriteSegment opens; the
+	// segment writer's bytes flow through the returned writer (the file
+	// itself is still closed by Close). WrapReader does the same for every
+	// segment file the read paths open. Both exist for deterministic fault
+	// injection — wrapping a segment in a faultinject.Writer/Reader makes
+	// disk-full, short-write, and corruption scenarios scriptable — and
+	// are nil in production, where the open paths use the files directly.
+	WrapWriter func(name string, f io.Writer) io.Writer
+	WrapReader func(name string, f io.Reader) io.Reader
 }
 
 // NewStore opens (creating if needed) a trace database at dir.
@@ -45,7 +58,11 @@ func (s *Store) WriteSegment(session string, segment int) (*SegmentWriter, error
 	if err != nil {
 		return nil, err
 	}
-	sw := NewSegmentWriter(f)
+	var w io.Writer = f
+	if s.WrapWriter != nil {
+		w = s.WrapWriter(filepath.Base(path), f)
+	}
+	sw := NewSegmentWriter(w)
 	sw.c = f
 	sw.path = path
 	return sw, nil
@@ -93,9 +110,14 @@ func (s *Store) Sessions() ([]string, error) {
 		if filepath.Ext(name) != ".rtrc" {
 			continue
 		}
+		// The session is everything before the numeric segment suffix.
+		// Indexes are %04d-formatted but parsed, not sized: segment 10000
+		// and beyond widen the suffix.
 		base := name[:len(name)-len(".rtrc")]
-		if len(base) > 5 && base[len(base)-5] == '-' {
-			seen[base[:len(base)-5]] = true
+		if i := strings.LastIndexByte(base, '-'); i > 0 {
+			if _, ok := segmentIndex(name, base[:i]); ok {
+				seen[base[:i]] = true
+			}
 		}
 	}
 	out := make([]string, 0, len(seen))
@@ -106,8 +128,27 @@ func (s *Store) Sessions() ([]string, error) {
 	return out, nil
 }
 
-// segmentNames lists the segment files of a session in segment order
-// (os.ReadDir sorts by filename and segment numbers are zero-padded).
+// segmentIndex parses the numeric segment index out of a segment file
+// name (<session>-<index>.rtrc). ok is false for names whose suffix is
+// not numeric.
+func segmentIndex(name, session string) (int, bool) {
+	digits := name[len(session)+1 : len(name)-len(".rtrc")]
+	if digits == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(digits)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// segmentNames lists the segment files of a session in segment order.
+// Order is by parsed numeric index, not lexicographic: zero-padding runs
+// out at segment 10000 (%04d), where a filename sort would merge
+// "10000" before "9999" and break tie-resolution to the earlier
+// segment. Non-numeric suffixes (never produced by segPath) sort after
+// all numeric ones, by name.
 func (s *Store) segmentNames(session string) ([]string, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -122,6 +163,23 @@ func (s *Store) segmentNames(session string) ([]string, error) {
 		}
 		names = append(names, name)
 	}
+	sort.Slice(names, func(i, j int) bool {
+		ni, oki := segmentIndex(names[i], session)
+		nj, okj := segmentIndex(names[j], session)
+		switch {
+		case oki && okj:
+			if ni != nj {
+				return ni < nj
+			}
+			return names[i] < names[j]
+		case oki:
+			return true
+		case okj:
+			return false
+		default:
+			return names[i] < names[j]
+		}
+	})
 	return names, nil
 }
 
@@ -151,7 +209,11 @@ func (s *Store) SessionCursors(session string) ([]*FileCursor, error) {
 			}
 			return nil, err
 		}
-		fc := NewFileCursor(f)
+		var r io.Reader = f
+		if s.WrapReader != nil {
+			r = s.WrapReader(name, f)
+		}
+		fc := NewFileCursor(r)
 		fc.c = f
 		fc.name = name
 		fc.strict = true

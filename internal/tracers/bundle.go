@@ -221,6 +221,19 @@ func (b *Bundle) perfBuffers() [3]*ebpf.PerfBuffer {
 	return [3]*ebpf.PerfBuffer{b.initPB, b.rtPB, b.knPB}
 }
 
+// SetRingFault installs (or, with nil, removes) one emission fault hook
+// on all three tracer buffers. A drop the hook forces counts as lost on
+// the emitting ring, exactly like a capacity overrun, so the usual
+// Lost/LostPerCPU accounting covers injected ring faults too. Emissions
+// consult the hook in a deterministic order (the simulation is
+// single-threaded), so a scripted hook produces the same fault schedule
+// for the same seed.
+func (b *Bundle) SetRingFault(hook func(cpu int) bool) {
+	for _, pb := range b.perfBuffers() {
+		pb.SetEmitFault(hook)
+	}
+}
+
 // TraceBytes reports the cumulative perf-buffer payload bytes across all
 // three tracers and all CPU rings — the paper's trace-volume metric.
 func (b *Bundle) TraceBytes() uint64 {
