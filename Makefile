@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-smoke bench-compare stream-bench fuzz-smoke chaos chaos-race baseline
+.PHONY: all build test vet race check bench bench-smoke bench-compare stream-bench fmt-compat fuzz-smoke chaos chaos-race baseline
 
 all: check
 
@@ -36,11 +36,19 @@ stream-bench:
 
 # Run the suite and diff against BENCH_baseline.json: fails on >15% ns/op
 # regression of the named hot-path benchmarks (scripts/bench_compare.py).
-# -count=3 with min-of-N selection in bench_to_json keeps scheduler noise
-# on a loaded machine from tripping the gate.
+# -count=5 with min-of-N selection in bench_to_json keeps scheduler noise
+# on a loaded machine from tripping the gate: five samples spread over
+# the suite's runtime ride out contention bursts that min-of-3 caught.
 bench-compare:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms -count=3 . | python3 scripts/bench_to_json.py > /tmp/bench_new.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms -count=5 . | python3 scripts/bench_to_json.py > /tmp/bench_new.json
 	python3 scripts/bench_compare.py BENCH_baseline.json /tmp/bench_new.json
+
+# Cross-version .rtrc compatibility suite (used by CI): v1 <-> v2 decoded
+# equivalence at codec and store level, the v2 crash-recovery truncation
+# sweep, v2 damage classification, indexed-query correctness against the
+# sequential reference, and the v1/v2 fuzz equivalence seeds.
+fmt-compat:
+	$(GO) test -run 'TestFormatCompat|TestSegmentWriterFormatKnob|TestSegmentCrashRecovery|TestSalvage|TestFsck|TestQuerySession|FuzzV1V2Equivalence|FuzzV2Cursor' -count=1 ./internal/trace
 
 # Short coverage-guided fuzz passes (used by CI): the binary trace codec
 # (batch reader and streaming segment cursor), salvage over damaged
@@ -50,6 +58,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadBinary -fuzztime 10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzFileCursor -fuzztime 10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzSalvage -fuzztime 10s ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzV2Cursor -fuzztime 10s ./internal/trace
+	$(GO) test -run '^$$' -fuzz 'FuzzV1V2Equivalence$$' -fuzztime 10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzTier1Equivalence -fuzztime 10s ./internal/ebpf
 
 # Fault-injection chaos run: the full drain -> store -> synthesis
@@ -66,5 +76,5 @@ chaos-race:
 # Regenerate the BENCH_baseline.json snapshot future perf PRs compare
 # against.
 baseline:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms -count=3 . | python3 scripts/bench_to_json.py > BENCH_baseline.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms -count=5 . | python3 scripts/bench_to_json.py > BENCH_baseline.json
 	@echo wrote BENCH_baseline.json

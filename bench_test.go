@@ -608,14 +608,22 @@ func BenchmarkAlg1_StreamModel(b *testing.B) {
 
 // benchStoreSession writes one multi-segment AVP session into a fresh
 // store — contiguous chunks of a (Time, Seq)-sorted whole-run trace,
-// exactly the shape the rostracer periodic loop persists.
+// exactly the shape the rostracer periodic loop persists. Segments use
+// the store default format (v2).
 func benchStoreSession(b *testing.B, seconds sim.Duration, segments int) (*trace.Store, string, int) {
+	return benchStoreSessionFormat(b, seconds, segments, 0)
+}
+
+// benchStoreSessionFormat is benchStoreSession with an explicit segment
+// format (0 = the store default, v2).
+func benchStoreSessionFormat(b *testing.B, seconds sim.Duration, segments int, format trace.Format) (*trace.Store, string, int) {
 	b.Helper()
 	tr := avpTrace(b, seconds)
 	st, err := trace.NewStore(b.TempDir())
 	if err != nil {
 		b.Fatal(err)
 	}
+	st.Format = format
 	per := (tr.Len() + segments - 1) / segments
 	for seg := 0; seg < segments; seg++ {
 		lo := min(seg*per, tr.Len())
@@ -689,3 +697,88 @@ func BenchmarkStoreStreamSynthesize(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkStoreStreamSessionV1 is BenchmarkStoreStreamSession over v1
+// segments: the flat-record read path the v2 migration keeps alive, and
+// the reference point for the v2 numbers above it.
+func BenchmarkStoreStreamSessionV1(b *testing.B) {
+	st, sess, want := benchStoreSessionFormat(b, 10*sim.Second, 8, trace.FormatV1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var kc trace.KindCounter
+		if err := st.StreamSession(sess, &kc); err != nil {
+			b.Fatal(err)
+		}
+		if kc.Total() != want {
+			b.Fatalf("streamed %d events, want %d", kc.Total(), want)
+		}
+	}
+}
+
+// BenchmarkStoreQuerySession measures the indexed filtered read: a
+// narrow time window (1% of a 10 s, 8-segment v2 session) answered
+// through the footer indexes. The work is proportional to the blocks
+// that overlap the window, not the session — compare against
+// BenchmarkStoreStreamSession, which decodes every record to answer
+// the same question.
+func BenchmarkStoreQuerySession(b *testing.B) {
+	st, sess, _ := benchStoreSession(b, 10*sim.Second, 8)
+	f := trace.Filter{
+		T0: sim.Time(5 * sim.Second),
+		T1: sim.Time(5*sim.Second + 100*sim.Millisecond),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last trace.QueryStats
+	for i := 0; i < b.N; i++ {
+		var kc trace.KindCounter
+		stats, err := st.QuerySession(sess, f, &kc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if kc.Total() == 0 || kc.Total() != stats.RecordsMatched {
+			b.Fatalf("window matched %d events (stats %+v)", kc.Total(), stats)
+		}
+		last = stats
+	}
+	b.ReportMetric(float64(last.RecordsMatched), "matched/op")
+	b.ReportMetric(float64(last.BlocksRead), "blocks-read/op")
+	b.ReportMetric(float64(last.BlocksSkipped), "blocks-skipped/op")
+}
+
+// countWriter counts bytes; the write benchmarks use it to report
+// on-disk density without touching a filesystem.
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) { w.n += int64(len(p)); return len(p), nil }
+
+// benchSegmentWrite encodes a 10 s AVP trace through one segment writer
+// of the given format, reporting encode throughput and bytes/event.
+func benchSegmentWrite(b *testing.B, format trace.Format) {
+	tr := avpTrace(b, 10*sim.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		var cw countWriter
+		sw := trace.NewSegmentWriterFormat(&cw, format, 0)
+		for _, e := range tr.Events {
+			sw.Observe(e)
+		}
+		if err := sw.Close(); err != nil {
+			b.Fatal(err)
+		}
+		bytes = cw.n
+	}
+	b.ReportMetric(float64(tr.Len()), "events/op")
+	b.ReportMetric(float64(bytes)/float64(tr.Len()), "B/event")
+}
+
+// BenchmarkSegmentWriteV1 measures the flat v1 record encoder.
+func BenchmarkSegmentWriteV1(b *testing.B) { benchSegmentWrite(b, trace.FormatV1) }
+
+// BenchmarkSegmentWriteV2 measures the delta-compressed v2 block
+// encoder; its B/event against V1's is the compression ratio
+// docs/PERFORMANCE.md reports.
+func BenchmarkSegmentWriteV2(b *testing.B) { benchSegmentWrite(b, trace.FormatV2) }

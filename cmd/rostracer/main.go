@@ -9,7 +9,9 @@
 //	rostracer -app both ...
 //
 // Each run becomes one session in the store, segmented every -segment of
-// virtual time.
+// virtual time. Segments are written in the indexed, delta-compressed v2
+// format by default; -format=v1 keeps the flat v1 record stream (both
+// read back through the same store).
 //
 // Persistence is hardened (see docs/RELIABILITY.md): segment-write
 // failures retry with bounded backoff and rotate to fresh files, events
@@ -55,6 +57,7 @@ func main() {
 	adaptive := flag.Bool("adaptive-drain", false, "plan the drain period from per-ring pending/lost gauges instead of the fixed -segment")
 	snapshotEvery := flag.Duration("snapshot-every", 0, "synthesize and write a model snapshot (JSON + DOT) every this much virtual time (0 = off)")
 	spillCap := flag.Int("spill-capacity", 0, "bounded in-memory event spill while the disk is down (0 = default)")
+	format := flag.String("format", "v2", "segment format: v2 (indexed, delta-compressed) or v1 (flat records)")
 	flag.Parse()
 
 	build, err := buildFunc(*app)
@@ -64,6 +67,14 @@ func main() {
 	store, err := trace.NewStore(*out)
 	if err != nil {
 		log.Fatal(err)
+	}
+	switch *format {
+	case "v2":
+		store.Format = trace.FormatV2
+	case "v1":
+		store.Format = trace.FormatV1
+	default:
+		log.Fatalf("unknown -format %q (want v1 or v2)", *format)
 	}
 
 	// Graceful shutdown: the drain loop checks this between segments and,

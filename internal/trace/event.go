@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"strings"
 
 	"github.com/tracesynth/rostracer/internal/sim"
 )
@@ -74,6 +75,22 @@ func (k Kind) String() string {
 		return kindNames[k]
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseKind resolves a kind from its String() form, its probe label
+// ("P6"), or its bare probe name ("rmw_take_int", "execute_timer:entry",
+// "sched_switch") — the forms a CLI -kinds flag accepts.
+func ParseKind(s string) (Kind, bool) {
+	for k := KindInvalid + 1; k < numKinds; k++ {
+		name := kindNames[k]
+		if s == name {
+			return k, true
+		}
+		if i := strings.IndexByte(name, ':'); i >= 0 && (s == name[:i] || s == name[i+1:]) {
+			return k, true
+		}
+	}
+	return KindInvalid, false
 }
 
 // IsCBStart reports whether k is one of the callback-start probes

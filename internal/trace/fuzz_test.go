@@ -65,6 +65,7 @@ func FuzzFileCursor(f *testing.F) {
 	corrupt := append([]byte(nil), valid.Bytes()...)
 	binary.LittleEndian.PutUint32(corrupt[len(binMagic):], 1<<19)
 	f.Add(corrupt)
+	f.Add(encodeV2(f, sampleEvents(), 3))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var got []Event
@@ -123,6 +124,10 @@ func FuzzSalvage(f *testing.F) {
 	corrupt := append([]byte(nil), valid.Bytes()...)
 	binary.LittleEndian.PutUint32(corrupt[len(binMagic):], 1<<19)
 	f.Add(corrupt)
+	v2 := encodeV2(f, sampleEvents(), 3)
+	f.Add(v2)
+	f.Add(v2[:len(v2)/2])
+	f.Add(v2[:len(v2)-footerTrailerLen-1])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var got []Event
@@ -153,19 +158,152 @@ func FuzzSalvage(f *testing.F) {
 			}
 		}
 
-		// The recovered byte range is itself a valid segment holding
-		// exactly the recovered events — no partial record counted in.
+		// The recovered byte range is itself a valid segment — no partial
+		// record counted in. For v1 it decodes to exactly the recovered
+		// events; for v2, BytesRecovered is block-granular, so a torn
+		// block's salvaged record prefix is yielded beyond what the byte
+		// prefix re-decodes to — the prefix then holds the leading subset.
 		if rep.BytesRecovered > 0 {
 			tr, err := ReadBinary(bytes.NewReader(data[:rep.BytesRecovered]))
 			if err != nil {
 				t.Fatalf("BytesRecovered prefix does not decode: %v", err)
 			}
-			if tr.Len() != len(got) {
+			isV2 := len(data) >= len(binMagic2) && string(data[:len(binMagic2)]) == binMagic2
+			if isV2 {
+				if tr.Len() > len(got) {
+					t.Fatalf("prefix decodes to %d events, salvage recovered only %d", tr.Len(), len(got))
+				}
+			} else if tr.Len() != len(got) {
 				t.Fatalf("prefix decodes to %d events, salvage recovered %d", tr.Len(), len(got))
 			}
-			for i := range got {
+			for i := range tr.Events {
 				if got[i] != tr.Events[i] {
 					t.Fatalf("event %d: salvage %v, prefix %v", i, got[i], tr.Events[i])
+				}
+			}
+		}
+	})
+}
+
+// encodeV2 renders events as one v2 segment with the given block bound.
+func encodeV2(t testing.TB, events []Event, blockRecords int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw := NewSegmentWriterFormat(&buf, FormatV2, blockRecords)
+	for _, e := range events {
+		sw.Observe(e)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzV2Cursor feeds arbitrary v2-leaning segment bytes to the streaming
+// reader: it must never panic, its errors must be sticky, salvage must
+// recover exactly the strict prefix the plain cursor yields (failing
+// exactly when it does), and any cleanly decoded input must survive a v2
+// re-encode round trip.
+func FuzzV2Cursor(f *testing.F) {
+	valid := encodeV2(f, sampleEvents(), 3)
+	f.Add(valid)
+	for _, cut := range []int{len(binMagic2), len(binMagic2) + 3, len(valid) / 2, len(valid) - 1, len(valid) - footerTrailerLen - 1} {
+		f.Add(valid[:cut])
+	}
+	stompTag := append([]byte(nil), valid...)
+	stompTag[len(binMagic2)] = 0x7f
+	f.Add(stompTag)
+	stompFooter := append([]byte(nil), valid...)
+	stompFooter[len(stompFooter)-footerTrailerLen-2] ^= 0xff
+	f.Add(stompFooter)
+	f.Add([]byte(binMagic2))
+	f.Add([]byte("not a trace file"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var got []Event
+		cur := NewFileCursor(bytes.NewReader(data))
+		var curErr error
+		for {
+			ev, ok, err := cur.Next()
+			if err != nil {
+				curErr = err
+				break
+			}
+			if !ok {
+				break
+			}
+			got = append(got, ev)
+		}
+		if curErr != nil {
+			if _, _, err := cur.Next(); err == nil {
+				t.Fatal("cursor error not sticky")
+			}
+		}
+
+		// Salvage fails (marks damage) exactly when the plain cursor errors,
+		// and recovers exactly its yielded prefix.
+		var salvaged []Event
+		rep := SalvageReader(bytes.NewReader(data), SinkFunc(func(e Event) { salvaged = append(salvaged, e) }))
+		if rep.Damaged != (curErr != nil) {
+			t.Fatalf("salvage damaged=%v, cursor err=%v", rep.Damaged, curErr)
+		}
+		if len(salvaged) != len(got) {
+			t.Fatalf("salvage recovered %d events, cursor yielded %d", len(salvaged), len(got))
+		}
+		for i := range got {
+			if got[i] != salvaged[i] {
+				t.Fatalf("event %d: salvage %v, cursor %v", i, salvaged[i], got[i])
+			}
+		}
+
+		// Cleanly decoded input round-trips through the v2 encoder.
+		if curErr == nil && len(got) > 0 {
+			back, err := ReadBinary(bytes.NewReader(encodeV2(t, got, 3)))
+			if err != nil {
+				t.Fatalf("re-encode of accepted events failed to decode: %v", err)
+			}
+			if back.Len() != len(got) {
+				t.Fatalf("re-encode lost events: %d != %d", back.Len(), len(got))
+			}
+			for i := range got {
+				if got[i] != back.Events[i] {
+					t.Fatalf("event %d: round trip %v != %v", i, back.Events[i], got[i])
+				}
+			}
+		}
+	})
+}
+
+// FuzzV1V2Equivalence decodes arbitrary bytes with the version-aware
+// reader and, when they form a valid segment (either version),
+// re-encodes the events as v2 and demands an identical decoded stream —
+// the cross-version equivalence pin of the format migration.
+func FuzzV1V2Equivalence(f *testing.F) {
+	var v1 bytes.Buffer
+	if err := WriteBinary(&v1, &Trace{Events: sampleEvents()}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	f.Add(encodeV2(f, sampleEvents(), 2))
+	f.Add(v1.Bytes()[:len(v1.Bytes())/2])
+	f.Add([]byte("not a trace file"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, blockRecords := range []int{1, 3, 0} {
+			back, err := ReadBinary(bytes.NewReader(encodeV2(t, tr.Events, blockRecords)))
+			if err != nil {
+				t.Fatalf("v2(block=%d) re-encode failed to decode: %v", blockRecords, err)
+			}
+			if back.Len() != tr.Len() {
+				t.Fatalf("v2(block=%d) lost events: %d != %d", blockRecords, back.Len(), tr.Len())
+			}
+			for i := range tr.Events {
+				if tr.Events[i] != back.Events[i] {
+					t.Fatalf("v2(block=%d) event %d: %v != %v", blockRecords, i, back.Events[i], tr.Events[i])
 				}
 			}
 		}

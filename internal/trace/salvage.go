@@ -24,7 +24,7 @@ type SegmentSalvage struct {
 	BytesRecovered int64  // magic + complete records, the valid prefix
 	BytesDropped   int64  // bytes past the damage point (0 when clean)
 	Damaged        bool
-	Cause          string // damage class: truncated, corrupt, bad-magic, unordered
+	Cause          string // damage class: truncated, corrupt, bad-block, bad-footer, bad-magic, unordered
 	Err            error  // the underlying decode error (nil when clean)
 }
 
@@ -88,6 +88,10 @@ func classifyDamage(err error) string {
 		return "bad-magic"
 	case errors.Is(err, ErrUnordered):
 		return "unordered"
+	case errors.Is(err, ErrBadFooter):
+		return "bad-footer"
+	case errors.Is(err, ErrBadBlock):
+		return "bad-block"
 	case errors.Is(err, ErrCorrupt):
 		return "corrupt"
 	case errors.Is(err, ErrTruncated):

@@ -98,6 +98,10 @@ func TestSalvageTruncatedSegment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// v1 pinned: truncateMidRecord's boundary+2 arithmetic and the exact
+	// BytesDropped assertion are v1 record-granular. TestSalvageV2Damage
+	// covers the v2 equivalents.
+	s.Format = FormatV1
 	first := seqEvents(4, 0, 1)
 	second := seqEvents(6, 1000, 100)
 	writeSessionSegment(t, s, "tear", 0, first)
@@ -138,6 +142,8 @@ func TestSalvageCorruptAndBadMagic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// v1 pinned: the length-prefix stomp below lands on v1 record layout.
+	s.Format = FormatV1
 	p0 := writeSessionSegment(t, s, "rot", 0, seqEvents(4, 0, 1))
 	p1 := writeSessionSegment(t, s, "rot", 1, seqEvents(4, 1000, 100))
 
@@ -210,6 +216,9 @@ func TestFsckClassifiesAcrossSessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// v1 pinned: truncateMidRecord arithmetic. TestFsckClassifiesV2Damage
+	// covers v2 classification.
+	s.Format = FormatV1
 	writeSessionSegment(t, s, "a", 0, seqEvents(3, 0, 1))
 	p := writeSessionSegment(t, s, "b", 0, seqEvents(5, 0, 1))
 	writeSessionSegment(t, s, "b", 1, seqEvents(5, 1000, 100))

@@ -22,6 +22,14 @@ var (
 	ErrTruncated = errors.New("trace: segment truncated mid-record")
 	ErrCorrupt   = errors.New("trace: corrupt segment record")
 	ErrUnordered = errors.New("trace: segment records out of (Time, Seq) order")
+	// v2-specific damage classes: a complete block frame whose body does
+	// not decode (media damage inside the frame), and a footer index that
+	// is torn, malformed, or disagrees with the blocks actually on disk.
+	// Both leave every earlier complete block trustworthy, which is why
+	// they are distinct from ErrCorrupt (whose v1 meaning — record-level
+	// damage — stops the trustworthy prefix at the damage point too).
+	ErrBadBlock  = errors.New("trace: corrupt segment block")
+	ErrBadFooter = errors.New("trace: bad segment footer index")
 )
 
 // Streaming persistence: SegmentWriter is the Sink side of the trace
@@ -56,16 +64,54 @@ type SegmentWriter struct {
 	// escape through the io interfaces).
 	lenBuf  [4]byte
 	scratch []byte
+	// v2 state: Observe accumulates records into enc and flushBlock frames
+	// a block whenever blockRecords accumulate (or at Close), tracking the
+	// footer index as it goes. All nil/zero for v1 writers.
+	format       Format
+	blockRecords int
+	enc          *blockEnc
+	off          int64 // file offset where the next block frame lands
+	index        []BlockInfo
 }
 
-// NewSegmentWriter starts a segment on w by writing the magic header.
+// NewSegmentWriter starts a v1 segment on w by writing the magic header.
 // The caller must Close to flush. When w needs closing too (a file), use
-// Store.WriteSegment, which hands ownership to the writer.
+// Store.WriteSegment, which hands ownership to the writer. New write
+// paths should prefer NewSegmentWriterFormat (v2); this constructor
+// stays v1 so its byte-equivalence pin with WriteBinary holds.
 func NewSegmentWriter(w io.Writer) *SegmentWriter {
-	sw := &SegmentWriter{bw: bufio.NewWriter(w), scratch: make([]byte, 0, 128)}
+	sw := &SegmentWriter{bw: bufio.NewWriter(w), scratch: make([]byte, 0, 128), format: FormatV1}
 	_, sw.err = sw.bw.WriteString(binMagic)
 	return sw
 }
+
+// NewSegmentWriterFormat starts a segment on w in the given format
+// (zero Format and zero blockRecords select the defaults: v2,
+// defaultBlockRecords records per block).
+func NewSegmentWriterFormat(w io.Writer, format Format, blockRecords int) *SegmentWriter {
+	if format == 0 {
+		format = FormatV2
+	}
+	if format == FormatV1 {
+		return NewSegmentWriter(w)
+	}
+	if blockRecords <= 0 {
+		blockRecords = defaultBlockRecords
+	}
+	sw := &SegmentWriter{
+		bw:           bufio.NewWriter(w),
+		scratch:      make([]byte, 0, 128),
+		format:       FormatV2,
+		blockRecords: blockRecords,
+		enc:          newBlockEnc(),
+	}
+	_, sw.err = sw.bw.WriteString(binMagic2)
+	sw.off = int64(len(binMagic2))
+	return sw
+}
+
+// Format reports the on-disk format this writer produces.
+func (sw *SegmentWriter) Format() Format { return sw.format }
 
 // Observe implements Sink, appending one record to the segment.
 func (sw *SegmentWriter) Observe(e Event) {
@@ -78,6 +124,18 @@ func (sw *SegmentWriter) Observe(e Event) {
 		return
 	}
 	if sw.err != nil {
+		return
+	}
+	if sw.format == FormatV2 {
+		if len(e.Node) > 0xFFFF || len(e.Topic) > 0xFFFF {
+			sw.err = fmt.Errorf("trace: string field too long in event %v", e)
+			return
+		}
+		sw.enc.add(&e)
+		sw.n++
+		if sw.enc.count >= sw.blockRecords {
+			sw.flushBlock()
+		}
 		return
 	}
 	body, ok := appendRecordBody(sw.scratch[:0], &e)
@@ -98,6 +156,83 @@ func (sw *SegmentWriter) Observe(e Event) {
 	sw.n++
 }
 
+// flushBlock frames the accumulated v2 block and records its index
+// entry. The encoder's buffers are reused for the next block.
+func (sw *SegmentWriter) flushBlock() {
+	if sw.err != nil || sw.enc.count == 0 {
+		return
+	}
+	hdr := binary.AppendUvarint(sw.scratch[:0], uint64(sw.enc.count))
+	hdr = binary.AppendUvarint(hdr, uint64(len(sw.enc.strs)))
+	for _, s := range sw.enc.strs {
+		hdr = binary.AppendUvarint(hdr, uint64(len(s)))
+		hdr = append(hdr, s...)
+	}
+	bodyLen := len(hdr) + len(sw.enc.records)
+	sw.lenBuf[0] = frameBlock
+	if _, err := sw.bw.Write(sw.lenBuf[:1]); err != nil {
+		sw.err = err
+		return
+	}
+	binary.LittleEndian.PutUint32(sw.lenBuf[:], uint32(bodyLen))
+	if _, err := sw.bw.Write(sw.lenBuf[:]); err != nil {
+		sw.err = err
+		return
+	}
+	if _, err := sw.bw.Write(hdr); err != nil {
+		sw.err = err
+		return
+	}
+	if _, err := sw.bw.Write(sw.enc.records); err != nil {
+		sw.err = err
+		return
+	}
+	sw.index = append(sw.index, BlockInfo{
+		Offset:  sw.off,
+		Len:     uint32(bodyLen),
+		Count:   sw.enc.count,
+		MinTime: sw.enc.minT,
+		MaxTime: sw.enc.maxT,
+		Kinds:   sw.enc.kinds,
+	})
+	sw.off += int64(5 + bodyLen)
+	sw.scratch = hdr[:0]
+	sw.enc.reset()
+}
+
+// writeFooter frames the footer index and its fixed-size trailer; only
+// Close calls it, which is what gives v2 its crash semantics: a segment
+// without a footer is a crashed writer, readable as complete blocks.
+func (sw *SegmentWriter) writeFooter() {
+	if sw.err != nil {
+		return
+	}
+	body := appendFooterBody(sw.scratch[:0], sw.index, sw.n)
+	sw.lenBuf[0] = frameFooter
+	if _, err := sw.bw.Write(sw.lenBuf[:1]); err != nil {
+		sw.err = err
+		return
+	}
+	binary.LittleEndian.PutUint32(sw.lenBuf[:], uint32(len(body)))
+	if _, err := sw.bw.Write(sw.lenBuf[:]); err != nil {
+		sw.err = err
+		return
+	}
+	if _, err := sw.bw.Write(body); err != nil {
+		sw.err = err
+		return
+	}
+	if _, err := sw.bw.Write(sw.lenBuf[:]); err != nil { // body length again, for EOF seek
+		sw.err = err
+		return
+	}
+	if _, err := sw.bw.WriteString(footerTrailerMagic); err != nil {
+		sw.err = err
+		return
+	}
+	sw.scratch = body[:0]
+}
+
 // Count reports how many records have been written.
 func (sw *SegmentWriter) Count() int { return sw.n }
 
@@ -110,11 +245,13 @@ func (sw *SegmentWriter) Path() string { return sw.path }
 func (sw *SegmentWriter) Err() error { return sw.err }
 
 // Flush forces buffered output down to the destination, reporting the
-// stream's first error. Observe buffers (bufio), so a destination
-// failure normally surfaces records later, at a buffer boundary or at
-// Close; a recovery path that must know now whether a fresh segment's
-// disk is writable flushes right after opening instead of discovering
-// the answer mid-drain.
+// stream's first error. Observe buffers (bufio, plus the open block in
+// v2), so a destination failure normally surfaces records later, at a
+// buffer or block boundary or at Close; a recovery path that must know
+// now whether a fresh segment's disk is writable flushes right after
+// opening instead of discovering the answer mid-drain. Flush does not
+// frame the open v2 block — only Close and the blockRecords bound do —
+// so flushing mid-block keeps the block layout deterministic.
 func (sw *SegmentWriter) Flush() error {
 	if sw.closed || sw.err != nil {
 		return sw.err
@@ -124,13 +261,19 @@ func (sw *SegmentWriter) Flush() error {
 }
 
 // Close flushes buffered output (and closes the destination when the
-// writer owns it), reporting the first error of the whole stream. Close
-// is idempotent.
+// writer owns it), reporting the first error of the whole stream. For v2
+// this is also where the final block and the footer index are framed:
+// a segment that never reached Close has no footer, which is exactly how
+// readers recognize a crashed writer. Close is idempotent.
 func (sw *SegmentWriter) Close() error {
 	if sw.closed {
 		return sw.err
 	}
 	sw.closed = true
+	if sw.format == FormatV2 {
+		sw.flushBlock()
+		sw.writeFooter()
+	}
 	if sw.err == nil {
 		sw.err = sw.bw.Flush()
 	}
@@ -169,10 +312,24 @@ type FileCursor struct {
 	started  bool
 	done     bool
 	// consumed counts the bytes of the stream covered by the magic header
-	// and every fully decoded record — the length of the longest prefix
+	// and every fully decoded frame — the length of the longest prefix
 	// that is itself a valid segment. Salvage uses it to report how many
-	// bytes of a damaged segment were recovered vs dropped.
+	// bytes of a damaged segment were recovered vs dropped. For v1 the
+	// granularity is one record; for v2 it is one block frame (the
+	// complete-record prefix of a torn block is yielded but not counted,
+	// since those bytes are not themselves a valid segment).
 	consumed int64
+	// v2 state: decoded-but-unserved records of the current block, the
+	// reused string table, an error held back until the torn block's
+	// complete-record prefix has been served, and the observed block index
+	// (validated against the footer, and usable to rebuild a missing one).
+	version     Format
+	blockEvents []Event
+	blockIdx    int
+	blockStrs   []string
+	pendingErr  error
+	obsIndex    []BlockInfo
+	recCount    int
 }
 
 // NewFileCursor opens a cursor over a .rtrc stream. The magic header is
@@ -184,10 +341,23 @@ func NewFileCursor(r io.Reader) *FileCursor {
 
 func (c *FileCursor) fail(err error) (Event, bool, error) {
 	if c.name != "" {
-		err = fmt.Errorf("trace: segment %s: %w", c.name, err)
+		err = fmt.Errorf("trace: segment %s (%s): %w", c.name, c.version, err)
 	}
 	c.err = err
 	return Event{}, false, c.err
+}
+
+// checkOrder enforces (Time, Seq) order on strict cursors.
+func (c *FileCursor) checkOrder(ev *Event) error {
+	if !c.strict {
+		return nil
+	}
+	if c.prevSet && (ev.Time < c.prevTime || (ev.Time == c.prevTime && ev.Seq < c.prevSeq)) {
+		return fmt.Errorf("%w: (%d, %d) after (%d, %d)",
+			ErrUnordered, ev.Time, ev.Seq, c.prevTime, c.prevSeq)
+	}
+	c.prevTime, c.prevSeq, c.prevSet = ev.Time, ev.Seq, true
+	return nil
 }
 
 // Next implements Cursor. Errors are sticky: after the first decode
@@ -205,10 +375,18 @@ func (c *FileCursor) Next() (Event, bool, error) {
 		if _, err := io.ReadFull(c.br, magic[:]); err != nil {
 			return c.fail(fmt.Errorf("%w: reading magic: %w", ErrTruncated, err))
 		}
-		if string(magic[:]) != binMagic {
+		switch string(magic[:]) {
+		case binMagic:
+			c.version = FormatV1
+		case binMagic2:
+			c.version = FormatV2
+		default:
 			return c.fail(fmt.Errorf("%w: %q", ErrBadMagic, magic))
 		}
 		c.consumed = int64(len(binMagic))
+	}
+	if c.version == FormatV2 {
+		return c.nextV2()
 	}
 	if _, err := io.ReadFull(c.br, c.lenBuf[:]); err != nil {
 		if err == io.EOF {
@@ -234,16 +412,152 @@ func (c *FileCursor) Next() (Event, bool, error) {
 	if err != nil {
 		return c.fail(fmt.Errorf("%w: %w", ErrCorrupt, err))
 	}
-	if c.strict {
-		if c.prevSet && (ev.Time < c.prevTime || (ev.Time == c.prevTime && ev.Seq < c.prevSeq)) {
-			return c.fail(fmt.Errorf("%w: (%d, %d) after (%d, %d)",
-				ErrUnordered, ev.Time, ev.Seq, c.prevTime, c.prevSeq))
-		}
-		c.prevTime, c.prevSeq, c.prevSet = ev.Time, ev.Seq, true
+	if err := c.checkOrder(&ev); err != nil {
+		return c.fail(err)
 	}
 	c.consumed += int64(4 + n)
 	return ev, true, nil
 }
+
+// nextV2 serves decoded records out of the current block, pulling the
+// next frame when the block runs dry. A torn or damaged block's
+// complete-record prefix is served before its error surfaces, matching
+// v1's "every complete record, then the error" salvage semantics.
+func (c *FileCursor) nextV2() (Event, bool, error) {
+	for {
+		if c.blockIdx < len(c.blockEvents) {
+			ev := c.blockEvents[c.blockIdx]
+			c.blockIdx++
+			if err := c.checkOrder(&ev); err != nil {
+				return c.fail(err)
+			}
+			return ev, true, nil
+		}
+		if c.pendingErr != nil {
+			return c.fail(c.pendingErr)
+		}
+		tag, err := c.br.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				// EOF at a frame boundary with no footer seen: a crashed
+				// writer. Every block already served is trustworthy, so this
+				// ends the stream cleanly, like a v1 segment cut at a record
+				// boundary.
+				c.done = true
+				return Event{}, false, nil
+			}
+			return c.fail(fmt.Errorf("%w: frame tag: %w", ErrTruncated, err))
+		}
+		switch tag {
+		case frameBlock:
+			if err := c.readBlock(); err != nil {
+				return c.fail(err)
+			}
+		case frameFooter:
+			if err := c.readFooter(); err != nil {
+				return c.fail(err)
+			}
+			c.done = true
+			return Event{}, false, nil
+		default:
+			return c.fail(fmt.Errorf("%w: unknown frame tag %#x", ErrCorrupt, tag))
+		}
+	}
+}
+
+// readBlock reads and decodes one block frame. Damage inside the frame
+// is deferred via pendingErr so the block's complete-record prefix is
+// served first; damage to the frame itself fails immediately.
+func (c *FileCursor) readBlock() error {
+	if _, err := io.ReadFull(c.br, c.lenBuf[:]); err != nil {
+		return fmt.Errorf("%w: block length: %w", ErrTruncated, err)
+	}
+	n := binary.LittleEndian.Uint32(c.lenBuf[:])
+	if n == 0 || n > maxBlockBody {
+		return fmt.Errorf("%w: implausible block length %d", ErrCorrupt, n)
+	}
+	if cap(c.buf) < int(n) {
+		c.buf = make([]byte, n)
+	}
+	body := c.buf[:n]
+	m, rerr := io.ReadFull(c.br, body)
+	if rerr != nil {
+		// Torn block: decode the complete-record prefix of what did arrive,
+		// serve it, then surface the truncation.
+		evs, strs, _, _ := decodeBlockBody(c.blockEvents[:0], c.blockStrs[:0], body[:m])
+		c.blockEvents, c.blockStrs, c.blockIdx = evs, strs, 0
+		c.pendingErr = fmt.Errorf("%w: block body: %w", ErrTruncated, rerr)
+		return nil
+	}
+	evs, strs, info, derr := decodeBlockBody(c.blockEvents[:0], c.blockStrs[:0], body)
+	c.blockEvents, c.blockStrs, c.blockIdx = evs, strs, 0
+	if derr != nil {
+		c.pendingErr = fmt.Errorf("%w: %w", ErrBadBlock, derr)
+		return nil
+	}
+	info.Offset = c.consumed
+	info.Len = n
+	c.obsIndex = append(c.obsIndex, info)
+	c.recCount += info.Count
+	c.consumed += int64(5 + n)
+	return nil
+}
+
+// readFooter reads, validates, and cross-checks the footer index against
+// the blocks actually decoded. Anything wrong past the footer tag — a
+// torn footer, a trailer mismatch, an index that disagrees with the data
+// — is ErrBadFooter: the records are fine, only the index is not.
+func (c *FileCursor) readFooter() error {
+	badf := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrBadFooter, fmt.Sprintf(format, args...))
+	}
+	if _, err := io.ReadFull(c.br, c.lenBuf[:]); err != nil {
+		return badf("footer length: %v", err)
+	}
+	n := binary.LittleEndian.Uint32(c.lenBuf[:])
+	if n > maxFooterBody {
+		return badf("implausible footer length %d", n)
+	}
+	need := int(n) + footerTrailerLen
+	if cap(c.buf) < need {
+		c.buf = make([]byte, need)
+	}
+	buf := c.buf[:need]
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return badf("footer body: %v", err)
+	}
+	trailer := buf[n:]
+	if binary.LittleEndian.Uint32(trailer) != n || string(trailer[4:]) != footerTrailerMagic {
+		return badf("trailer mismatch")
+	}
+	blocks, records, err := parseFooterBody(buf[:n])
+	if err != nil {
+		return badf("%v", err)
+	}
+	if len(blocks) != len(c.obsIndex) || records != c.recCount {
+		return badf("index disagrees with data: %d vs %d blocks, %d vs %d records",
+			len(blocks), len(c.obsIndex), records, c.recCount)
+	}
+	for i := range blocks {
+		if blocks[i] != c.obsIndex[i] {
+			return badf("index entry %d disagrees with data", i)
+		}
+	}
+	// Nothing may follow the trailer.
+	if _, err := c.br.ReadByte(); err == nil {
+		return fmt.Errorf("%w: trailing bytes after footer", ErrCorrupt)
+	} else if err != io.EOF {
+		return fmt.Errorf("%w: after footer: %w", ErrCorrupt, err)
+	}
+	c.consumed += int64(5 + need)
+	return nil
+}
+
+// BlockIndex returns the index entries of every complete block decoded
+// so far — after a clean full read, the same entries the footer carries.
+// Query paths use it to reconstruct the index of a segment whose footer
+// was never written (crashed writer). The slice is owned by the cursor.
+func (c *FileCursor) BlockIndex() []BlockInfo { return c.obsIndex }
 
 // BytesConsumed reports the length of the longest stream prefix covered
 // by the magic header and fully decoded records. For an undamaged

@@ -16,10 +16,19 @@ import (
 // store session and returns the store.
 func writeSessionSegments(t *testing.T, session string, segs [][]Event) *Store {
 	t.Helper()
+	return writeSessionSegmentsFormat(t, session, segs, 0)
+}
+
+// writeSessionSegmentsFormat is writeSessionSegments with an explicit
+// store format (0 = store default). Byte-surgery tests that do v1
+// record-boundary arithmetic pin FormatV1.
+func writeSessionSegmentsFormat(t *testing.T, session string, segs [][]Event, format Format) *Store {
+	t.Helper()
 	st, err := NewStore(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
+	st.Format = format
 	for i, evs := range segs {
 		sw, err := st.WriteSegment(session, i)
 		if err != nil {
@@ -301,7 +310,9 @@ func TestSegmentCrashRecovery(t *testing.T) {
 	tr := Trace{Events: evs}
 	tr.SortByTime()
 	evs = tr.Events
-	st := writeSessionSegments(t, "run1", [][]Event{evs})
+	// v1 pinned: the sweep below does v1 record-boundary arithmetic
+	// (WriteBinary prefixes). TestSegmentCrashRecoveryV2 is the v2 twin.
+	st := writeSessionSegmentsFormat(t, "run1", [][]Event{evs}, FormatV1)
 	path := filepath.Join(st.Dir(), "run1-0000.rtrc")
 	full, err := os.ReadFile(path)
 	if err != nil {

@@ -22,6 +22,18 @@ import (
 type Store struct {
 	dir string
 
+	// Format selects the segment format the write paths (WriteSegment,
+	// SaveSegment) produce; the zero value means the default, v2. Read
+	// paths are always version-aware — they sniff each segment's magic —
+	// so a store can hold a mix of v1 and v2 segments.
+	Format Format
+
+	// BlockRecords bounds records per v2 block (0 selects the default).
+	// Smaller blocks index finer (narrow filtered reads decode less);
+	// larger blocks compress better (the table and per-block index entry
+	// amortize over more records).
+	BlockRecords int
+
 	// WrapWriter, when set, wraps the file every WriteSegment opens; the
 	// segment writer's bytes flow through the returned writer (the file
 	// itself is still closed by Close). WrapReader does the same for every
@@ -62,7 +74,7 @@ func (s *Store) WriteSegment(session string, segment int) (*SegmentWriter, error
 	if s.WrapWriter != nil {
 		w = s.WrapWriter(filepath.Base(path), f)
 	}
-	sw := NewSegmentWriter(w)
+	sw := NewSegmentWriterFormat(w, s.Format, s.BlockRecords)
 	sw.c = f
 	sw.path = path
 	return sw, nil
@@ -88,14 +100,37 @@ func (s *Store) SaveSegment(session string, segment int, t *Trace) error {
 	return sw.Close()
 }
 
-// LoadSegment reads one trace segment.
+// LoadSegment reads one trace segment of either format through the
+// version-aware streaming cursor. Decode errors name the segment file
+// and the detected format version. Unlike the session read paths this
+// is non-strict: a single segment loaded in isolation has no merge to
+// corrupt, so arbitrary record order round-trips (as it always has
+// through ReadBinary).
 func (s *Store) LoadSegment(session string, segment int) (*Trace, error) {
-	f, err := os.Open(s.segPath(session, segment))
+	path := s.segPath(session, segment)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return ReadBinary(f)
+	var r io.Reader = f
+	if s.WrapReader != nil {
+		r = s.WrapReader(filepath.Base(path), f)
+	}
+	fc := NewFileCursor(r)
+	fc.c = f
+	fc.name = filepath.Base(path)
+	defer fc.Close()
+	out := &Trace{}
+	for {
+		e, ok, err := fc.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out.Events = append(out.Events, e)
+	}
 }
 
 // Sessions lists distinct session names in the store, sorted.

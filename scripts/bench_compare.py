@@ -28,6 +28,8 @@ GATED = [
     "BenchmarkAlg1_StreamModel",
     "BenchmarkStoreLoadSession",
     "BenchmarkStoreStreamSession",
+    "BenchmarkStoreQuerySession",
+    "BenchmarkSegmentWriteV2",
 ]
 
 # Alloc regressions on the zero-alloc fire path are failures at any size.
