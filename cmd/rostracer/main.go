@@ -32,6 +32,7 @@ import (
 
 	"github.com/tracesynth/rostracer/internal/apps"
 	"github.com/tracesynth/rostracer/internal/core"
+	"github.com/tracesynth/rostracer/internal/ebpf"
 	"github.com/tracesynth/rostracer/internal/harness"
 	"github.com/tracesynth/rostracer/internal/rclcpp"
 	"github.com/tracesynth/rostracer/internal/service"
@@ -58,6 +59,8 @@ func main() {
 	snapshotEvery := flag.Duration("snapshot-every", 0, "synthesize and write a model snapshot (JSON + DOT) every this much virtual time (0 = off)")
 	spillCap := flag.Int("spill-capacity", 0, "bounded in-memory event spill while the disk is down (0 = default)")
 	format := flag.String("format", "v2", "segment format: v2 (indexed, delta-compressed) or v1 (flat records)")
+	hotThreshold := flag.Uint64("hot-threshold", ebpf.DefaultHotThreshold(), "tier-0 run count at which a probe program is re-decoded into its profile-guided form (0 disables automatic promotion)")
+	profilePath := flag.String("profile", "", "warmup profile file: loaded at start so programs dispatch at tier >= 1 from the first fire, saved on shutdown (empty = no persistence)")
 	flag.Parse()
 
 	build, err := buildFunc(*app)
@@ -93,6 +96,8 @@ func main() {
 			ringCapacity: *ringCapacity, adaptive: *adaptive,
 			snapshotEvery: sim.Duration(*snapshotEvery),
 			spillCapacity: *spillCap,
+			hotThreshold:  *hotThreshold,
+			profilePath:   *profilePath,
 			interrupt:     sigCh,
 		}
 		degraded, interrupted, err := traceOneRun(store, session, build, cfg)
@@ -129,6 +134,8 @@ type runConfig struct {
 	adaptive      bool
 	snapshotEvery sim.Duration
 	spillCapacity int
+	hotThreshold  uint64
+	profilePath   string
 	interrupt     <-chan os.Signal
 }
 
@@ -146,9 +153,23 @@ func buildFunc(app string) (func(*rclcpp.World), error) {
 
 func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), cfg runConfig) (degraded, interrupted bool, retErr error) {
 	w := rclcpp.NewWorld(rclcpp.Config{NumCPUs: cfg.cpus, Seed: cfg.seed})
+	// The threshold must be set before the bundle loads its programs:
+	// each program captures it at decode time.
+	w.Runtime().SetHotThreshold(cfg.hotThreshold)
 	b, err := tracers.NewBundleCapacity(w.Runtime(), cfg.ringCapacity)
 	if err != nil {
 		return false, false, err
+	}
+	if cfg.profilePath != "" {
+		applied, err := b.LoadProfiles(cfg.profilePath)
+		if err != nil {
+			return false, false, err
+		}
+		if applied > 0 {
+			tc := b.TierCounts()
+			log.Printf("  profile %s: seeded %d programs (tiers t0:%d t1:%d t2:%d)",
+				cfg.profilePath, applied, tc[0], tc[1], tc[2])
+		}
 	}
 	tracers.BridgeSched(w.Machine(), w.Runtime())
 	if err := b.StartInit(); err != nil {
@@ -278,9 +299,10 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), 
 		if res.Down {
 			status = "  [disk down: spilling]"
 		}
-		log.Printf("  seg %-3d t=%-12v %6d events, ring hwm cpu%d=%d, lost +%d (total %d), next period %v%s",
+		tc := b.TierCounts()
+		log.Printf("  seg %-3d t=%-12v %6d events, ring hwm cpu%d=%d, lost +%d (total %d), tiers t0:%d t1:%d t2:%d, next period %v%s",
 			segIdx, sim.Duration(elapsed), res.Persisted, pendCPU, pendHWM,
-			lostDelta, b.Lost(), nextStep, status)
+			lostDelta, b.Lost(), tc[0], tc[1], tc[2], nextStep, status)
 		segIdx++
 		if snapSvc != nil && elapsed >= nextSnapAt {
 			snap := snapSvc.Snapshot()
@@ -343,6 +365,17 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), 
 	}
 	if lost := b.Lost(); lost > 0 {
 		log.Printf("  WARNING: %d records lost to ring overruns", lost)
+	}
+	if cfg.profilePath != "" {
+		// Save on shutdown — interrupted sessions too: the warmup profile
+		// accumulated so far is exactly what the next session wants.
+		if err := b.SaveProfiles(cfg.profilePath); err != nil {
+			log.Printf("  WARNING: %v", err)
+		} else {
+			tc := b.TierCounts()
+			log.Printf("  profile saved to %s (tiers t0:%d t1:%d t2:%d)",
+				cfg.profilePath, tc[0], tc[1], tc[2])
+		}
 	}
 	return degraded, interrupted, nil
 }

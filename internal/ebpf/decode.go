@@ -67,6 +67,17 @@ const (
 	opMapUpdateFast     // calls[tgt].map.Update(key, value)
 	opProbeReadFast     // probe_read(stack[tgt:tgt+imm], addr=regs[src])
 	opProbeReadStrFast  // probe_read_str(stack[tgt:tgt+imm], addr=regs[src])
+
+	// opTrace is the tier-2 cross-block superinstruction (produced only by
+	// reoptimize when a block's terminating conditional jump has a single
+	// profile-dominant successor): the slot's run executes, then the
+	// recorded guard — the original conditional jump — is evaluated once.
+	// When it resolves in the dominant direction the fused successor block
+	// executes in the same dispatch step and control continues past it;
+	// when it does not, control falls back to the recorded cold successor
+	// with tier-0 retire accounting, exactly like a pattern-op guard
+	// failure degrades to the tier-0 range. See dtrace.
+	opTrace
 )
 
 // Argument-source and result-forwarding flags for the fused helper ops,
@@ -165,11 +176,36 @@ type dinsn struct {
 	op     Op
 	dst    uint8
 	src    uint8
-	tgt    int32 // absolute jump target, or next slot after a fused run
+	tgt    int32 // absolute jump target, or next slot after a fused run/trace
 	retire int32 // original instructions retired by a fused run
 	imm    uint64
-	hits   uint64 // tier-0 profile: times this run slot was entered
-	run    []dop  // opRunFused: the fused constituent instructions
+	hits   uint64 // tier-0 profile: times this slot was entered
+	run    []dop  // opRunFused/opRunExit/opTrace: the fused instructions
+	// tr is the guarded cross-block extension of an opTrace slot. Branch
+	// taken counts live in decodedProgram.takenCtr, not here, keeping the
+	// slot at one cache line.
+	tr *dtrace
+}
+
+// dtrace is the tier-2 extension of an opTrace slot: the guard condition
+// copied from the original conditional jump, the optimized ops of the
+// profile-dominant successor block, and the hit-path retire weight. The
+// hit weight covers the guard, any jump-threaded Ja slots on the way
+// into and out of the dominant block, the block itself, and — when the
+// dominant path ends the program — the folded OpExit. It does not
+// include the continuation slot's own retire: the dispatch loop accounts
+// for that when it lands there. A guard miss retires nothing here — it
+// re-enters at the branch slot, which retires normally — so the total
+// stays bit-identical to the reference interpreter either way.
+type dtrace struct {
+	op        Op    // guard: one of the conditional jump opcodes
+	dst, src  uint8 // guard operand registers
+	expect    bool  // guard outcome fused into the trace (true = taken)
+	exit      bool  // dominant path folds the program exit
+	failTgt   int32 // the branch slot itself, re-executed on guard miss
+	retireHit int32
+	imm       uint64 // guard immediate operand
+	runB      []dop  // optimized ops of the dominant successor block
 }
 
 // decodedProgram is one immutable dispatch form of a program. A Program
@@ -178,8 +214,11 @@ type dinsn struct {
 // and executes that form to completion even if a reoptimization lands
 // mid-run.
 type decodedProgram struct {
-	tier  int     // 0: load-time lowering; 1: profile-guided re-decode
-	insns []dinsn // dispatch slots (pc-indexed in tier 0, compact in tier 1)
+	// tier is 0 for the load-time lowering, 1 for the profile-guided
+	// re-decode, and 2 when the re-decode additionally formed at least one
+	// guarded cross-block trace (opTrace).
+	tier  int
+	insns []dinsn // dispatch slots (pc-indexed in tier 0, compact in tier 1+)
 	calls []dcall // per-call-site helper bindings (shared across tiers)
 	// ops is the tier-0 per-instruction lowering, indexed by original pc.
 	// Tier 1 re-fuses from it and pattern ops fall back to their
@@ -194,6 +233,16 @@ type decodedProgram struct {
 	// single-threaded simulation.
 	runs         uint64
 	hotThreshold uint64
+	// takenCtr is the tier-0 branch-edge profile, indexed by slot: how
+	// often each conditional jump resolved taken (hits - taken is the
+	// fallthrough count). A side array rather than a dinsn field so the
+	// dispatch slots stay cache-line-sized; nil on tier-1/2 forms, which
+	// no longer profile.
+	takenCtr []uint64
+	// t0 points back at the tier-0 form a promoted program was re-decoded
+	// from, so the warmup profile (slot hits, taken counts, run count)
+	// stays reachable for persistence after the swap.
+	t0 *decodedProgram
 }
 
 // isJump reports whether op transfers control.
@@ -314,6 +363,7 @@ func decode(p *Program, lookup func(fd int64) Map, hotThreshold uint64) error {
 		calls:        calls,
 		ops:          ops,
 		hotThreshold: hotThreshold,
+		takenCtr:     make([]uint64, len(out)),
 	})
 	return nil
 }

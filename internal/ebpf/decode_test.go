@@ -71,7 +71,7 @@ func runEquiv(t *testing.T, name string, build func() *Program, ctxWords int, ct
 			t.Fatalf("%s: program not decoded", name)
 		}
 		if tier == "tier1" {
-			f.prog.dp.Store(reoptimize(dp))
+			f.prog.dp.Store(reoptimize(dp, false))
 			if f.prog.DecodeTier() != 1 {
 				t.Fatalf("%s: program not reoptimized", name)
 			}

@@ -183,7 +183,8 @@ func (p *Program) Verified() bool { return p.verified }
 
 // DecodeTier reports the program's current dispatch form: -1 when the
 // program has not been decoded (the VM interprets the raw instructions),
-// 0 for the load-time lowering, 1 for the profile-guided re-decode.
+// 0 for the load-time lowering, 1 for the profile-guided re-decode, and
+// 2 when the re-decode also formed guarded cross-block traces.
 func (p *Program) DecodeTier() int {
 	dp := p.dp.Load()
 	if dp == nil {

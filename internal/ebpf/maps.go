@@ -1,6 +1,9 @@
 package ebpf
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Map is a BPF map reachable from programs by fd. All maps in this substrate
 // carry 64-bit keys and values, which is sufficient for the tracers: they
@@ -78,44 +81,65 @@ func (h *HashMap) rehash(slots int) {
 // Name implements Map.
 func (h *HashMap) Name() string { return h.name }
 
-// Lookup implements Map.
+// Lookup implements Map. The probe loop masks indexes against the local
+// slice length instead of loading h.mask, so the compiler proves every
+// access in bounds and the per-probe bounds checks disappear — this is
+// the hottest map path on a probe fire, consulted up to three times per
+// dispatched program.
 func (h *HashMap) Lookup(key uint64) (uint64, bool) {
-	idx := hashKey(key) & h.mask
+	meta := h.meta
+	if len(meta) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(meta) - 1)
+	keys := h.keys[:len(meta)]
+	vals := h.vals[:len(meta)]
+	idx := hashKey(key)
 	for {
-		switch h.meta[idx] {
+		i := idx & mask
+		switch meta[i] {
 		case slotEmpty:
 			return 0, false
 		case slotLive:
-			if h.keys[idx] == key {
-				return h.vals[idx], true
+			if keys[i] == key {
+				return vals[i], true
 			}
 		}
-		idx = (idx + 1) & h.mask
+		idx = i + 1
 	}
 }
 
 // Update implements Map. Inserting beyond capacity fails like the kernel's
 // E2BIG.
 func (h *HashMap) Update(key, value uint64) error {
-	idx := hashKey(key) & h.mask
+	meta := h.meta
+	if len(meta) == 0 {
+		return fmt.Errorf("ebpf: map %q has no slots", h.name)
+	}
+	mask := uint64(len(meta) - 1)
+	keys := h.keys[:len(meta)]
+	vals := h.vals[:len(meta)]
+	idx := hashKey(key)
 	insert := -1
 	for {
-		switch h.meta[idx] {
+		i := idx & mask
+		switch meta[i] {
 		case slotEmpty:
 			if h.n >= h.maxEntries {
 				return fmt.Errorf("ebpf: map %q full (%d entries)", h.name, h.maxEntries)
 			}
 			if insert < 0 {
-				insert = int(idx)
+				insert = int(i)
 			} else {
 				h.tombs--
 			}
-			h.meta[insert] = slotLive
-			h.keys[insert] = key
-			h.vals[insert] = value
+			ii := uint64(insert) & mask
+			meta[ii] = slotLive
+			keys[ii] = key
+			vals[ii] = value
 			h.n++
 			// Keep the live+tombstone load factor below 3/4.
-			if slots := len(h.meta); (h.n+h.tombs)*4 > slots*3 {
+			if slots := len(meta); (h.n+h.tombs)*4 > slots*3 {
 				next := slots
 				if h.n*4 > slots*3 {
 					next = slots * 2
@@ -124,35 +148,42 @@ func (h *HashMap) Update(key, value uint64) error {
 			}
 			return nil
 		case slotLive:
-			if h.keys[idx] == key {
-				h.vals[idx] = value
+			if keys[i] == key {
+				vals[i] = value
 				return nil
 			}
 		case slotTomb:
 			if insert < 0 {
-				insert = int(idx)
+				insert = int(i)
 			}
 		}
-		idx = (idx + 1) & h.mask
+		idx = i + 1
 	}
 }
 
 // Delete implements Map.
 func (h *HashMap) Delete(key uint64) {
-	idx := hashKey(key) & h.mask
+	meta := h.meta
+	if len(meta) == 0 {
+		return
+	}
+	mask := uint64(len(meta) - 1)
+	keys := h.keys[:len(meta)]
+	idx := hashKey(key)
 	for {
-		switch h.meta[idx] {
+		i := idx & mask
+		switch meta[i] {
 		case slotEmpty:
 			return
 		case slotLive:
-			if h.keys[idx] == key {
-				h.meta[idx] = slotTomb
+			if keys[i] == key {
+				meta[i] = slotTomb
 				h.n--
 				h.tombs++
 				return
 			}
 		}
-		idx = (idx + 1) & h.mask
+		idx = i + 1
 	}
 }
 
@@ -209,7 +240,12 @@ func (a *ArrayMap) Delete(key uint64) {
 	}
 }
 
-// PerfRecord is one record emitted through perf_event_output.
+// PerfRecord is one record emitted through perf_event_output. Data
+// points into the ring's arena: records obtained from the batch drains
+// (Drain, DrainCPU, DrainInto) own their chunks and may be retained
+// freely, while records decoded through a streaming RecordCursor alias
+// chunks that return to the ring when the cursor is released — a
+// streaming consumer must finish with Data before Release.
 type PerfRecord struct {
 	CPU  int
 	Time int64  // virtual ns at emission
@@ -218,25 +254,68 @@ type PerfRecord struct {
 }
 
 // perfRing is one per-CPU ring of a PerfBuffer, matching the per-CPU
-// mmap'd pages of a real BPF_MAP_TYPE_PERF_EVENT_ARRAY: its own record
-// queue, payload arena, and lost/byte counters. Exactly one simulated
-// CPU produces into a ring, and the drain consumes it by swapping the
-// record slice out, so neither path ever takes a lock. Like the Runtime
-// that owns it, a PerfBuffer belongs to one single-threaded simulation:
-// the no-lock design relies on that ownership (the ring set grows on
-// first emission from a new CPU and the emission counter is plain), not
-// on any cross-goroutine synchronization.
+// mmap'd pages of a real BPF_MAP_TYPE_PERF_EVENT_ARRAY. Records are
+// framed directly into large arena chunks — [time u64][seq u64][len
+// u32][payload], never split across a chunk boundary — the way a real
+// ring writes perf_event_header + raw sample into its mmap'd pages, so
+// emit allocates nothing on the steady state and a drain hands the
+// chunks themselves to the consumer instead of materializing a record
+// slice. A streaming consumer decodes records in place out of the
+// chunks and releases them back to the ring's free list when its sink
+// is done; batch consumers keep the chunks (their records' Data aliases
+// them) and the ring grows fresh ones.
+//
+// Exactly one simulated CPU produces into a ring, and a drain consumes
+// it by swapping the chunk list out, so neither path ever takes a lock.
+// Like the Runtime that owns it, a PerfBuffer belongs to one
+// single-threaded simulation: the no-lock design relies on that
+// ownership (the ring set grows on first emission from a new CPU and
+// the emission counter is plain), not on any cross-goroutine
+// synchronization.
 type perfRing struct {
-	records []PerfRecord
-	lost    uint64
-	bytes   uint64
-	// arena backs record payloads in large chunks (the per-CPU scratch
-	// page of a real perf ring), so emit does not allocate per record.
-	// Drained records keep pointing at their chunk; chunks are never
-	// rewound, only replaced when full.
-	arena []byte
-	// lastDrain sizes the records slice after a drain.
-	lastDrain int
+	count int // undrained records in the current segment
+	lost  uint64
+	bytes uint64
+	// chunks hold the current segment's framed records; the last chunk is
+	// the one being filled.
+	chunks [][]byte
+	// free recycles chunks handed back by released streaming cursors, so
+	// a steady-state drain loop reuses the same arena memory forever.
+	free [][]byte
+}
+
+// perfRecHdr is the per-record frame header: time, seq, payload length.
+const perfRecHdr = 8 + 8 + 4
+
+// perfFreeChunks bounds a ring's free list; chunks beyond it fall to
+// the garbage collector (only reachable after a burst far above the
+// steady-state segment size).
+const perfFreeChunks = 8
+
+// newChunk returns an empty chunk with room for at least need bytes,
+// recycling a released one when possible.
+func (r *perfRing) newChunk(need int) []byte {
+	if n := len(r.free); n > 0 {
+		c := r.free[n-1]
+		r.free = r.free[:n-1]
+		if cap(c) >= need {
+			return c[:0]
+		}
+	}
+	size := perfArenaChunk
+	if need > size {
+		size = need
+	}
+	return make([]byte, 0, size)
+}
+
+// drainSegment swaps the ring's current segment out: the chunk list and
+// its record count. The caller owns the chunks until it releases them
+// (streaming) or forever (batch materialization).
+func (r *perfRing) drainSegment() ([][]byte, int) {
+	chunks, n := r.chunks, r.count
+	r.chunks, r.count = nil, 0
+	return chunks, n
 }
 
 // PerfBuffer is a BPF_MAP_TYPE_PERF_EVENT_ARRAY equivalent: one ring per
@@ -311,7 +390,7 @@ func (p *PerfBuffer) ring(cpu int) (*perfRing, int) {
 // counted in Lost/LostOnCPU, attributed to the emitting ring.
 func (p *PerfBuffer) SetEmitFault(hook func(cpu int) bool) { p.emitFault = hook }
 
-// Emit appends a record to the ring of the firing CPU (called by the
+// Emit frames a record into the ring of the firing CPU (called by the
 // perf_event_output helper with ctx.CPU).
 func (p *PerfBuffer) Emit(cpu int, now int64, data []byte) {
 	r, cpu := p.ring(cpu)
@@ -319,40 +398,33 @@ func (p *PerfBuffer) Emit(cpu int, now int64, data []byte) {
 		r.lost++
 		return
 	}
-	if p.capacity > 0 && len(r.records) >= p.capacity {
+	if p.capacity > 0 && r.count >= p.capacity {
 		r.lost++
 		return
 	}
-	if r.records == nil && r.lastDrain > 0 {
-		r.records = make([]PerfRecord, 0, r.lastDrain)
+	need := perfRecHdr + len(data)
+	var cur []byte
+	if n := len(r.chunks); n > 0 {
+		cur = r.chunks[n-1]
 	}
-	if cap(r.arena)-len(r.arena) < len(data) {
-		size := perfArenaChunk
-		if len(data) > size {
-			size = len(data)
-		}
-		r.arena = make([]byte, 0, size)
+	if cap(cur)-len(cur) < need {
+		cur = r.newChunk(need)
+		r.chunks = append(r.chunks, cur)
 	}
-	off := len(r.arena)
-	r.arena = append(r.arena, data...)
-	cp := r.arena[off:len(r.arena):len(r.arena)]
-	rec := PerfRecord{CPU: cpu, Time: now, Data: cp}
+	off := len(cur)
+	cur = cur[:off+need]
+	binary.LittleEndian.PutUint64(cur[off:], uint64(now))
+	var seq uint64
 	if p.seq != nil {
-		rec.Seq = *p.seq
+		seq = *p.seq
 		*p.seq++
 	}
-	r.records = append(r.records, rec)
+	binary.LittleEndian.PutUint64(cur[off+8:], seq)
+	binary.LittleEndian.PutUint32(cur[off+16:], uint32(len(data)))
+	copy(cur[off+perfRecHdr:], data)
+	r.chunks[len(r.chunks)-1] = cur
+	r.count++
 	r.bytes += uint64(len(data))
-}
-
-// drain swaps a ring's pending records out. The ring's next emit sizes
-// the fresh record slice to the drained batch, so steady-state polling
-// pays no append-growth copies.
-func (r *perfRing) drain() []PerfRecord {
-	out := r.records
-	r.records = nil
-	r.lastDrain = len(out)
-	return out
 }
 
 // Drain returns and clears the pending records of every ring, merged
@@ -366,12 +438,12 @@ func (p *PerfBuffer) Drain() []PerfRecord {
 	case 0:
 		return nil
 	case 1:
-		return p.rings[0].drain()
+		return p.DrainCPU(0)
 	}
 	streams := make([][]PerfRecord, 0, len(p.rings))
 	total := 0
 	for i := range p.rings {
-		if s := p.rings[i].drain(); len(s) > 0 {
+		if s := p.DrainCPU(i); len(s) > 0 {
 			streams = append(streams, s)
 			total += len(s)
 		}
@@ -400,42 +472,116 @@ func (p *PerfBuffer) Drain() []PerfRecord {
 }
 
 // DrainCPU returns and clears the pending records of one CPU's ring, in
-// emission order. CPUs the buffer never saw drain empty.
+// emission order. CPUs the buffer never saw drain empty. The returned
+// records own their arena chunks (the ring grows fresh ones), so batch
+// consumers may retain Data indefinitely.
 func (p *PerfBuffer) DrainCPU(cpu int) []PerfRecord {
 	if cpu < 0 || cpu >= len(p.rings) {
 		return nil
 	}
-	return p.rings[cpu].drain()
+	chunks, n := p.rings[cpu].drainSegment()
+	if n == 0 {
+		return nil
+	}
+	out := make([]PerfRecord, 0, n)
+	c := RecordCursor{cpu: cpu, chunks: chunks, n: n}
+	for {
+		rec, ok := c.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, rec)
+	}
 }
 
-// RecordCursor iterates one drained ring segment incrementally. The
-// segment was swapped out of the ring when the cursor was created, so
-// iteration never races with new emissions and its length bounds what a
-// streaming consumer can ever have in flight from this ring.
+// RecordCursor iterates one drained ring segment, decoding each record's
+// frame in place: the yielded PerfRecord's Data aliases the segment's
+// arena chunk, so the streaming drain path performs no per-record copy
+// or allocation. The segment was swapped out of the ring when the cursor
+// was created, so iteration never races with new emissions and its
+// length bounds what a streaming consumer can ever have in flight from
+// this ring. Release hands the chunks back to the ring once the consumer
+// is done with every Data it yielded.
 type RecordCursor struct {
-	recs []PerfRecord
-	i    int
+	ring   *perfRing // for Release; nil for detached (batch) decoding
+	cpu    int
+	chunks [][]byte
+	n      int // records remaining
+	ci     int // current chunk index
+	off    int // decode offset into the current chunk
 }
 
-// Next returns the next record of the segment; ok is false at the end.
+// Next decodes the next record of the segment; ok is false at the end.
 func (c *RecordCursor) Next() (rec PerfRecord, ok bool) {
-	if c.i >= len(c.recs) {
+	if c.n == 0 {
 		return PerfRecord{}, false
 	}
-	rec = c.recs[c.i]
-	c.i++
+	for c.off >= len(c.chunks[c.ci]) {
+		c.ci++
+		c.off = 0
+	}
+	b := c.chunks[c.ci]
+	ln := int(binary.LittleEndian.Uint32(b[c.off+16:]))
+	end := c.off + perfRecHdr + ln
+	rec = PerfRecord{
+		CPU:  c.cpu,
+		Time: int64(binary.LittleEndian.Uint64(b[c.off:])),
+		Seq:  binary.LittleEndian.Uint64(b[c.off+8:]),
+		Data: b[c.off+perfRecHdr : end : end],
+	}
+	c.off = end
+	c.n--
 	return rec, true
 }
 
 // Len reports how many records remain.
-func (c *RecordCursor) Len() int { return len(c.recs) - c.i }
+func (c *RecordCursor) Len() int { return c.n }
+
+// Release returns the segment's arena chunks to the ring's free list for
+// the next emission burst to reuse. After Release, Data slices of
+// records this cursor yielded may be overwritten; a streaming sink must
+// be done with them (events decode into value fields and interned
+// strings, never retaining Data — see tracers.DecodeRecord). Safe to
+// call more than once and on detached cursors.
+func (c *RecordCursor) Release() {
+	r := c.ring
+	if r == nil {
+		return
+	}
+	c.ring = nil
+	for _, ch := range c.chunks {
+		if len(r.free) < perfFreeChunks {
+			r.free = append(r.free, ch[:0])
+		}
+	}
+	// Hand the chunk-list array itself back too, if the ring has not
+	// started a new segment yet (the common drain-then-emit cadence).
+	if r.chunks == nil && cap(c.chunks) > 0 {
+		r.chunks = c.chunks[:0]
+	}
+	c.chunks = nil
+}
 
 // DrainCursor drains one CPU's ring — the records emitted since the
 // previous drain, its current segment — and returns a cursor over them.
 // The ring's lost/byte counters are untouched: they accumulate for the
 // lifetime of the buffer regardless of how records are consumed.
 func (p *PerfBuffer) DrainCursor(cpu int) *RecordCursor {
-	return &RecordCursor{recs: p.DrainCPU(cpu)}
+	c := new(RecordCursor)
+	p.DrainCursorInto(c, cpu)
+	return c
+}
+
+// DrainCursorInto is DrainCursor into caller-owned storage, so a drain
+// loop can reuse its cursors across segments without allocating.
+func (p *PerfBuffer) DrainCursorInto(c *RecordCursor, cpu int) {
+	if cpu < 0 || cpu >= len(p.rings) {
+		*c = RecordCursor{}
+		return
+	}
+	r := &p.rings[cpu]
+	chunks, n := r.drainSegment()
+	*c = RecordCursor{ring: r, cpu: cpu, chunks: chunks, n: n}
 }
 
 // DrainInto drains one CPU's ring, invoking fn on every record of the
@@ -505,7 +651,7 @@ func (p *PerfBuffer) BytesOnCPU(cpu int) uint64 {
 func (p *PerfBuffer) Pending() int {
 	n := 0
 	for i := range p.rings {
-		n += len(p.rings[i].records)
+		n += p.rings[i].count
 	}
 	return n
 }
@@ -515,5 +661,5 @@ func (p *PerfBuffer) PendingOnCPU(cpu int) int {
 	if cpu < 0 || cpu >= len(p.rings) {
 		return 0
 	}
-	return len(p.rings[cpu].records)
+	return p.rings[cpu].count
 }

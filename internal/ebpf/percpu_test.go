@@ -1,8 +1,10 @@
 package ebpf
 
 import (
+	"encoding/binary"
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 )
 
@@ -240,5 +242,128 @@ func TestPerfBufferDrainInto(t *testing.T) {
 	// requeue it.
 	if pb.PendingOnCPU(2) != 0 {
 		t.Fatalf("aborted DrainInto left %d records pending", pb.PendingOnCPU(2))
+	}
+}
+
+// TestPerfRingChunkReuseAfterRelease pins down the arena contract the
+// zero-copy drain relies on: releasing a cursor hands its chunks back to
+// the ring, the next emission burst reuses that exact memory, and any
+// record Data retained across the Release therefore aliases the new
+// burst's bytes. This is why a streaming sink must be done with every
+// Data slice before the drain returns — and why retaining decoded
+// values (interned names, scalar fields) is safe while retaining Data
+// is not.
+func TestPerfRingChunkReuseAfterRelease(t *testing.T) {
+	pb := NewPerfBuffer("arena", 0)
+	payload := func(burst, i int) []byte {
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint64(b, uint64(burst)<<32|uint64(i))
+		return b
+	}
+	const n = 64
+	for i := 0; i < n; i++ {
+		pb.Emit(0, int64(i), payload(1, i))
+	}
+
+	c := pb.DrainCursor(0)
+	if len(c.chunks) == 0 {
+		t.Fatal("drained cursor has no chunks")
+	}
+	arena := &c.chunks[0][0]
+	var retained []byte
+	for i := 0; i < n; i++ {
+		rec, ok := c.Next()
+		if !ok {
+			t.Fatalf("cursor ended after %d of %d records", i, n)
+		}
+		if want := payload(1, i); !reflect.DeepEqual(rec.Data, want) {
+			t.Fatalf("record %d data = %x, want %x", i, rec.Data, want)
+		}
+		if i == 0 {
+			retained = rec.Data
+		}
+	}
+	c.Release()
+
+	for i := 0; i < n; i++ {
+		pb.Emit(0, int64(1000+i), payload(2, i))
+	}
+	c2 := pb.DrainCursor(0)
+	defer c2.Release()
+	if len(c2.chunks) == 0 {
+		t.Fatal("second drain has no chunks")
+	}
+	if &c2.chunks[0][0] != arena {
+		t.Fatal("second burst did not reuse the released arena chunk")
+	}
+	// The Data slice retained across Release now reads the second
+	// burst's first record — reuse is observable, not hypothetical.
+	if !reflect.DeepEqual(retained, payload(2, 0)) {
+		t.Fatalf("retained Data after reuse = %x, want second burst's bytes %x", retained, payload(2, 0))
+	}
+	for i := 0; i < n; i++ {
+		rec, ok := c2.Next()
+		if !ok {
+			t.Fatalf("second cursor ended after %d of %d records", i, n)
+		}
+		if want := payload(2, i); !reflect.DeepEqual(rec.Data, want) {
+			t.Fatalf("second burst record %d data = %x, want %x", i, rec.Data, want)
+		}
+	}
+}
+
+// TestPerfRingDrainWhileNextBurstEmits drives the segment-swap isolation
+// property under the race detector: DrainCursor swaps the segment out of
+// the ring, so consuming the cursor's records may overlap with the next
+// emission burst filling fresh chunks. The emitter touches only ring
+// state (new chunks, counters); the consumer touches only cursor-local
+// state; Release — which does touch the ring's free list — is ordered
+// after the emitter finishes, matching the StreamTo cadence where
+// release happens before the simulation resumes.
+func TestPerfRingDrainWhileNextBurstEmits(t *testing.T) {
+	pb := NewPerfBuffer("swap", 0)
+	payload := func(burst, i int) []byte {
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint64(b, uint64(burst)<<32|uint64(i))
+		return b
+	}
+	const n = 512
+	for i := 0; i < n; i++ {
+		pb.Emit(0, int64(i), payload(1, i))
+	}
+	c := pb.DrainCursor(0)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			pb.Emit(0, int64(1000+i), payload(2, i))
+		}
+	}()
+	for i := 0; i < n; i++ {
+		rec, ok := c.Next()
+		if !ok {
+			t.Errorf("cursor ended after %d of %d records", i, n)
+			break
+		}
+		if want := payload(1, i); !reflect.DeepEqual(rec.Data, want) {
+			t.Errorf("record %d data = %x, want %x", i, rec.Data, want)
+			break
+		}
+	}
+	wg.Wait()
+	c.Release()
+
+	c2 := pb.DrainCursor(0)
+	defer c2.Release()
+	if c2.Len() != n {
+		t.Fatalf("concurrent burst drained %d records, want %d", c2.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		rec, _ := c2.Next()
+		if want := payload(2, i); !reflect.DeepEqual(rec.Data, want) {
+			t.Fatalf("concurrent burst record %d data = %x, want %x", i, rec.Data, want)
+		}
 	}
 }

@@ -1,0 +1,121 @@
+package ebpf
+
+import "fmt"
+
+// Profile persistence: the tier-0 warmup profile — per-slot hit and
+// branch-taken counters plus the program run count — serialized keyed by
+// program identity, so a re-created world (a harness re-run, a rostracer
+// session restart) seeds its counters from the previous session and
+// promotes straight to tier 1/2 instead of re-warming past the hot
+// threshold. Identity is the program name plus a hash over the exact
+// instruction encoding: a program whose code changed between sessions
+// silently invalidates its saved profile instead of seeding garbage
+// counters into the wrong slots.
+
+// SlotProfile is the persisted profile of one tier-0 dispatch slot.
+type SlotProfile struct {
+	Hits  uint64 `json:"hits,omitempty"`
+	Taken uint64 `json:"taken,omitempty"`
+}
+
+// ProgramProfile is the persisted warmup profile of one program.
+type ProgramProfile struct {
+	Name  string        `json:"name"`
+	Hash  uint64        `json:"hash"`
+	Runs  uint64        `json:"runs"`
+	Slots []SlotProfile `json:"slots"`
+}
+
+// ProfileHash fingerprints the program's instruction encoding (FNV-1a
+// over every instruction field). A saved profile only applies to a
+// program with an identical hash: slot indexes are meaningless across
+// code changes.
+func (p *Program) ProfileHash() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	for _, in := range p.Insns {
+		mix(uint64(in.Op))
+		mix(uint64(in.Dst))
+		mix(uint64(in.Src))
+		mix(uint64(in.Off))
+		mix(uint64(in.Imm))
+		mix(uint64(in.Size))
+	}
+	return h
+}
+
+// Profile snapshots the program's tier-0 warmup profile. For a promoted
+// program the snapshot comes from the tier-0 form it was re-decoded
+// from — the counters are frozen at promotion time, which is exactly the
+// profile a restarted session needs to reach the same tier. ok is false
+// when the program was never decoded.
+func (p *Program) Profile() (ProgramProfile, bool) {
+	dp := p.dp.Load()
+	if dp == nil {
+		return ProgramProfile{}, false
+	}
+	if dp.tier != 0 {
+		if dp.t0 == nil {
+			return ProgramProfile{}, false
+		}
+		dp = dp.t0
+	}
+	prof := ProgramProfile{
+		Name:  p.Name,
+		Hash:  p.ProfileHash(),
+		Runs:  dp.runs,
+		Slots: make([]SlotProfile, len(dp.insns)),
+	}
+	for i := range dp.insns {
+		prof.Slots[i].Hits = dp.insns[i].hits
+		if i < len(dp.takenCtr) {
+			prof.Slots[i].Taken = dp.takenCtr[i]
+		}
+	}
+	return prof, true
+}
+
+// ApplyProfile seeds a freshly loaded program's tier-0 counters from a
+// profile saved by a previous session, after validating that it belongs
+// to this exact program (name, instruction hash, slot count). When the
+// seeded run count has already crossed the program's hot threshold the
+// program is re-decoded immediately, so the world dispatches at tier >= 1
+// from its first fire. A program already promoted this session is left
+// alone.
+func (p *Program) ApplyProfile(prof ProgramProfile) error {
+	dp := p.dp.Load()
+	if dp == nil {
+		return fmt.Errorf("ebpf: ApplyProfile on undecoded program %q", p.Name)
+	}
+	if dp.tier != 0 {
+		return nil
+	}
+	if prof.Name != p.Name {
+		return fmt.Errorf("ebpf: profile name %q does not match program %q", prof.Name, p.Name)
+	}
+	if h := p.ProfileHash(); prof.Hash != h {
+		return fmt.Errorf("ebpf: profile hash %#x does not match program %q (%#x)", prof.Hash, p.Name, h)
+	}
+	if len(prof.Slots) != len(dp.insns) {
+		return fmt.Errorf("ebpf: profile for %q has %d slots, program has %d",
+			p.Name, len(prof.Slots), len(dp.insns))
+	}
+	dp.runs += prof.Runs
+	for i := range dp.insns {
+		dp.insns[i].hits += prof.Slots[i].Hits
+		if i < len(dp.takenCtr) {
+			dp.takenCtr[i] += prof.Slots[i].Taken
+		}
+	}
+	if dp.hotThreshold != 0 && dp.runs >= dp.hotThreshold {
+		p.dp.Store(reoptimize(dp, true))
+	}
+	return nil
+}

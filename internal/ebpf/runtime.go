@@ -164,7 +164,7 @@ func (rt *Runtime) SetHotThreshold(n uint64) { rt.hotThreshold = n }
 // is a no-op.
 func (rt *Runtime) Reoptimize(p *Program) {
 	if dp := p.dp.Load(); dp != nil && dp.tier == 0 {
-		p.dp.Store(reoptimize(dp))
+		p.dp.Store(reoptimize(dp, true))
 	}
 }
 

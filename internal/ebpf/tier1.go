@@ -61,11 +61,41 @@ func SetDefaultHotThreshold(n uint64) uint64 { return defaultHotThreshold.Swap(n
 // pattern op may cover: the weight travels in a uint8.
 const maxPatternWeight = 255
 
-// reoptimize builds the tier-1 form of a tier-0 decoded program. It is
-// total: blocks where no pattern applies re-fuse exactly as tier 0 laid
-// them out, so the result is always a valid dispatch form.
-func reoptimize(dp *decodedProgram) *decodedProgram {
-	ndp := &decodedProgram{tier: 1, calls: dp.calls, ops: dp.ops}
+// Tier-2 trace formation thresholds: a conditional jump qualifies as a
+// trace guard only once its edge profile is both warm (traceMinHits
+// executions observed) and decisive (the dominant direction holds at
+// least traceBiasNum/traceBiasDen of them). Below either bar the branch
+// stays a plain tier-1 jump.
+const (
+	traceMinHits = 64
+	traceBiasNum = 7
+	traceBiasDen = 8
+)
+
+// traceDirection reports the profile-dominant outcome of a conditional
+// jump slot — hits entries, taken of which resolved to the jump target —
+// and whether the profile is decisive enough to guard a trace.
+func traceDirection(hits, taken uint64) (expectTaken, ok bool) {
+	if hits < traceMinHits {
+		return false, false
+	}
+	if taken*traceBiasDen >= hits*traceBiasNum {
+		return true, true
+	}
+	if (hits-taken)*traceBiasDen >= hits*traceBiasNum {
+		return false, true
+	}
+	return false, false
+}
+
+// reoptimize builds the tier-1 (and, with traces enabled and a decisive
+// branch profile, tier-2) form of a tier-0 decoded program. It is total:
+// blocks where no pattern applies re-fuse exactly as tier 0 laid them
+// out, so the result is always a valid dispatch form. withTraces gates
+// cross-block trace formation so equivalence tests can pin the pure
+// tier-1 form.
+func reoptimize(dp *decodedProgram, withTraces bool) *decodedProgram {
+	ndp := &decodedProgram{tier: 1, calls: dp.calls, ops: dp.ops, t0: dp}
 	old := dp.insns
 
 	// thread follows a chain of unconditional jumps from a run's target.
@@ -173,6 +203,17 @@ func reoptimize(dp *decodedProgram) *decodedProgram {
 				})
 				continue
 			}
+			// Tier 2: a run whose successor is a decisively-biased
+			// conditional jump fuses across it into a guarded trace.
+			if withTraces {
+				if tr, cont, ok := formTrace(dp, thread, newIdx, tgt, ndp); ok {
+					ndp.insns = append(ndp.insns, dinsn{
+						op: opTrace, tgt: cont, retire: in.retire + extra, run: run, tr: tr,
+					})
+					ndp.tier = 2
+					continue
+				}
+			}
 			ndp.insns = append(ndp.insns, dinsn{
 				op: opRunFused, tgt: remap(newIdx, tgt), retire: in.retire + extra, run: run,
 			})
@@ -186,6 +227,66 @@ func reoptimize(dp *decodedProgram) *decodedProgram {
 		}
 	}
 	return ndp
+}
+
+// formTrace attempts tier-2 cross-block fusion at jSlot, the threaded
+// successor of a run being emitted. It succeeds when jSlot is a
+// conditional jump with a decisive edge profile whose dominant successor
+// (after jump threading) is a plain fused run: the guard condition, the
+// optimized dominant block, and both outcomes' retire weights are
+// packaged into a dtrace. The returned cont is the compacted slot the
+// trace continues at after the dominant block (0 and unused when the
+// dominant path folds the program exit). The jump and dominant-block
+// slots stay in the layout for their other predecessors and for the
+// cold path.
+func formTrace(dp *decodedProgram, thread func(int32) (int32, int32),
+	newIdx []int32, jSlot int32, ndp *decodedProgram) (*dtrace, int32, bool) {
+	old, calls := dp.insns, dp.calls
+	if int(jSlot) < 0 || int(jSlot) >= len(old) {
+		return nil, 0, false
+	}
+	j := &old[jSlot]
+	if !isJump(j.op) || j.op == OpJa {
+		return nil, 0, false
+	}
+	var taken uint64
+	if int(jSlot) < len(dp.takenCtr) {
+		taken = dp.takenCtr[jSlot]
+	}
+	expect, decisive := traceDirection(j.hits, taken)
+	if !decisive {
+		return nil, 0, false
+	}
+	b0 := jSlot + 1 // dominant successor
+	if expect {
+		b0 = j.tgt
+	}
+	bSlot, extraToB := thread(b0)
+	if int(bSlot) < 0 || int(bSlot) >= len(old) || old[bSlot].op != opRunFused {
+		return nil, 0, false
+	}
+	bb := &old[bSlot]
+	afterB, extraAfterB := thread(bb.tgt)
+	exit := int(afterB) >= 0 && int(afterB) < len(old) && old[afterB].op == OpExit
+	tr := &dtrace{
+		op: j.op, dst: j.dst, src: j.src, imm: j.imm,
+		expect: expect,
+		exit:   exit,
+		// Guard failure re-enters at the branch slot itself, which stays
+		// in the layout for the cold path; it retires normally there, so
+		// the fallback needs no retire adjustment and stays exact even
+		// under a corrupted guard.
+		failTgt:   remap(newIdx, jSlot),
+		retireHit: 1 + extraToB + bb.retire + extraAfterB,
+		runB:      optimizeRun(bb.run, calls, ndp),
+	}
+	var cont int32
+	if exit {
+		tr.retireHit++ // the folded OpExit retires too
+	} else {
+		cont = remap(newIdx, afterB)
+	}
+	return tr, cont, true
 }
 
 // remap translates a tier-0 slot index into the compacted layout. An

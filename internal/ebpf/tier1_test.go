@@ -17,7 +17,7 @@ func tier1Fixture(t *testing.T, build func() *Program, ctxWords int) *equivFixtu
 	if err := decode(f.prog, func(fd int64) Map { return maps[fd] }, 0); err != nil {
 		t.Fatal(err)
 	}
-	f.prog.dp.Store(reoptimize(f.prog.dp.Load()))
+	f.prog.dp.Store(reoptimize(f.prog.dp.Load(), false))
 	return f
 }
 
@@ -358,10 +358,12 @@ func TestTier1BlockReorderCompacts(t *testing.T) {
 	rt.FireUprobe(1, 0, sym, 0) // cold path once
 
 	tier0Slots := len(p.dp.Load().insns)
-	rt.Reoptimize(p)
+	// Trace-free re-decode: this test pins the tier-1 layout itself
+	// (tier-2 trace formation is covered by tier2_test.go).
+	p.dp.Store(reoptimize(p.dp.Load(), false))
 	dp := p.dp.Load()
 	if dp.tier != 1 {
-		t.Fatal("Reoptimize did not produce tier 1")
+		t.Fatal("reoptimize did not produce tier 1")
 	}
 	if len(dp.insns) >= tier0Slots {
 		t.Fatalf("tier-1 layout not compacted: %d slots, tier-0 had %d", len(dp.insns), tier0Slots)
@@ -444,12 +446,13 @@ func TestAutoReoptimizeThreshold(t *testing.T) {
 		t.Fatalf("tier %d with disabled threshold, want 0", got)
 	}
 	rt0.Reoptimize(p0)
-	if got := p0.DecodeTier(); got != 1 {
-		t.Fatalf("tier %d after explicit Reoptimize, want 1", got)
+	promoted := p0.DecodeTier()
+	if promoted < 1 {
+		t.Fatalf("tier %d after explicit Reoptimize, want >= 1", promoted)
 	}
-	rt0.Reoptimize(p0) // idempotent on tier 1
-	if got := p0.DecodeTier(); got != 1 {
-		t.Fatalf("tier %d after double Reoptimize, want 1", got)
+	rt0.Reoptimize(p0) // idempotent once promoted
+	if got := p0.DecodeTier(); got != promoted {
+		t.Fatalf("tier %d after double Reoptimize, want %d", got, promoted)
 	}
 }
 
@@ -495,7 +498,10 @@ func TestTier1ProfileCounters(t *testing.T) {
 // FuzzTier1Equivalence drives the random-program generator from fuzz
 // input and demands that any program the verifier accepts produces
 // identical results, map contents, and perf records through the raw
-// interpreter, the tier-0 decode, and the tier-1 re-decode.
+// interpreter, the tier-0 decode, the tier-1 re-decode, and a tier-2
+// re-decode whose branch profile was warmed by skewed fires (traces form
+// whenever the random program happens to have a decisively biased
+// branch; either way the guarded form must stay raw-identical).
 func FuzzTier1Equivalence(f *testing.F) {
 	f.Add(uint64(10), uint64(7), uint64(40))
 	f.Add(uint64(12), uint64(0), uint64(1))
@@ -519,7 +525,7 @@ func FuzzTier1Equivalence(f *testing.F) {
 			w.hash.Update(3, 33)
 			return w
 		}
-		worlds := []*world{mkWorld(), mkWorld(), mkWorld()} // raw, tier0, tier1
+		worlds := []*world{mkWorld(), mkWorld(), mkWorld(), mkWorld()} // raw, tier0, tier1, tier2
 		for _, w := range worlds {
 			maps := w.maps
 			if err := Verify(w.prog, VerifyOptions{CtxWords: 4, LookupMap: func(fd int64) Map { return maps[fd] }}); err != nil {
@@ -531,8 +537,31 @@ func FuzzTier1Equivalence(f *testing.F) {
 			if err := decode(w.prog, func(fd int64) Map { return maps[fd] }, 0); err != nil {
 				t.Fatalf("decode: %v", err)
 			}
-			if i == 1 {
-				w.prog.dp.Store(reoptimize(w.prog.dp.Load()))
+			switch i {
+			case 1:
+				w.prog.dp.Store(reoptimize(w.prog.dp.Load(), false))
+			case 2:
+				// Warm the branch profile: mostly the comparison context (so
+				// any trace that forms points down the path the comparison
+				// will take), plus a varied tail that keeps the cold edges
+				// alive. Then roll the map/perf state back to the seed and
+				// promote with traces enabled.
+				vm := NewVM(w.maps)
+				for n := 0; n < int(traceMinHits)*2; n++ {
+					vm.Run(w.prog, &ExecContext{PID: 7, CPU: 1, NowNs: 1234,
+						Words: []uint64{w0, w1, w0 % 97, w1 ^ w0}})
+				}
+				for n := uint64(0); n < 8; n++ {
+					vm.Run(w.prog, &ExecContext{PID: 7, CPU: 1, NowNs: 1234,
+						Words: []uint64{n * 31, w1 ^ n, n, w0 + n}})
+				}
+				for _, k := range w.hash.Keys() {
+					w.hash.Delete(k)
+				}
+				w.hash.Update(3, 33)
+				w.pb.Drain()
+				*w.pb.seq = 0
+				w.prog.dp.Store(reoptimize(w.prog.dp.Load(), true))
 			}
 		}
 

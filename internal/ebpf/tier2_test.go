@@ -1,0 +1,289 @@
+package ebpf
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Tier-2 cross-block trace tests: formation from a decisive branch
+// profile, four-way dispatch equivalence (raw / tier 0 / tier 1 /
+// tier 2) with bit-identical retire accounting, and the guard-corruption
+// fallback to the plain branch.
+
+// joinTraceProg branches to one of two map-updating blocks that rejoin
+// before exit — the trace continuation is a real slot, not a folded
+// exit. ctx word 0 selects the path (>10 takes the jump).
+func joinTraceProg() *Program {
+	return NewAssembler("join_trace").
+		LdxCtx(R6, R1, 0).
+		MovImm(R7, 5).
+		JgtImm(R6, 10, "hot").
+		// cold: h[20] = ctx word
+		MovImm(R1, 3).
+		MovImm(R2, 20).
+		MovReg(R3, R6).
+		Call(HelperMapUpdate).
+		MovImm(R0, 1).
+		Ja("end").
+		Label("hot").
+		// dominant: h[21] = ctx word + 5
+		AddReg(R7, R6).
+		MovImm(R1, 3).
+		MovImm(R2, 21).
+		MovReg(R3, R7).
+		Call(HelperMapUpdate).
+		MovImm(R0, 2).
+		Label("end").
+		AddImm(R0, 7).
+		Exit().
+		MustAssemble()
+}
+
+// exitTraceProg's branch bodies both end the program directly, so a
+// dominant path folds the trace's continuation into the trace (exit
+// fold).
+func exitTraceProg() *Program {
+	return NewAssembler("exit_trace").
+		LdxCtx(R6, R1, 0).
+		MovImm(R7, 1).
+		JgtImm(R6, 10, "hot").
+		MovImm(R0, 1).
+		Exit().
+		Label("hot").
+		AddReg(R7, R6).
+		MovReg(R0, R7).
+		Exit().
+		MustAssemble()
+}
+
+// warmTier2 decodes f's program at tier 0, drives it through enough
+// fires to make the branch profile decisive toward hotWord's direction,
+// then rolls the fixture state back to its seeded post-construction
+// values so equivalence comparisons start from the same world as an
+// unwarmed fixture. Only the profile survives the rollback — which is
+// the point.
+func warmTier2(t *testing.T, f *equivFixture, hotWord, coldWord uint64) {
+	t.Helper()
+	maps := f.maps
+	if err := decode(f.prog, func(fd int64) Map { return maps[fd] }, 0); err != nil {
+		t.Fatal(err)
+	}
+	vm := NewVM(f.maps)
+	for i := 0; i < int(traceMinHits)*2; i++ {
+		if _, err := vm.Run(f.prog, &ExecContext{Words: []uint64{hotWord}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ { // 4/132 cold keeps the profile decisive
+		if _, err := vm.Run(f.prog, &ExecContext{Words: []uint64{coldWord}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Roll back map/perf state to the newEquivFixture seed.
+	for _, k := range f.hash.Keys() {
+		f.hash.Delete(k)
+	}
+	f.hash.Update(10, 111)
+	f.hash.Update(11, 222)
+	for k := uint64(0); k < 8; k++ {
+		f.arr.Update(k, 0)
+	}
+	f.arr.Update(2, 333)
+	f.pb.Drain()
+	*f.pb.seq = 0
+}
+
+// findTrace returns the opTrace slots of the current dispatch form.
+func findTrace(p *Program) []*dinsn {
+	dp := p.dp.Load()
+	var out []*dinsn
+	for i := range dp.insns {
+		if dp.insns[i].op == opTrace {
+			out = append(out, &dp.insns[i])
+		}
+	}
+	return out
+}
+
+// TestTier2TraceFormation pins the trace decode itself: a decisively
+// biased branch re-fuses into an opTrace slot whose guard copies the
+// jump, whose direction matches the profile, and whose fail target
+// re-enters the branch slot kept in the layout.
+func TestTier2TraceFormation(t *testing.T) {
+	cases := []struct {
+		name       string
+		build      func() *Program
+		hot, cold  uint64
+		wantExpect bool
+		wantExit   bool
+	}{
+		{"taken_dominant", joinTraceProg, 100, 3, true, false},
+		{"fallthrough_dominant", joinTraceProg, 3, 100, false, false},
+		{"taken_exit_fold", exitTraceProg, 100, 3, true, true},
+		{"fallthrough_exit_fold", exitTraceProg, 3, 100, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := newEquivFixture(t, tc.build, 1)
+			warmTier2(t, f, tc.hot, tc.cold)
+			f.prog.dp.Store(reoptimize(f.prog.dp.Load(), true))
+			if got := f.prog.DecodeTier(); got != 2 {
+				t.Fatalf("DecodeTier = %d, want 2", got)
+			}
+			traces := findTrace(f.prog)
+			if len(traces) != 1 {
+				t.Fatalf("formed %d traces, want 1", len(traces))
+			}
+			in := traces[0]
+			tr := in.tr
+			if tr.op != OpJgtImm || tr.dst != uint8(R6) || tr.imm != 10 {
+				t.Fatalf("guard %+v does not copy the JgtImm(R6, 10) branch", tr)
+			}
+			if tr.expect != tc.wantExpect {
+				t.Fatalf("trace expect = %v, want %v", tr.expect, tc.wantExpect)
+			}
+			if tr.exit != tc.wantExit {
+				t.Fatalf("trace exit = %v, want %v", tr.exit, tc.wantExit)
+			}
+			if len(tr.runB) == 0 {
+				t.Fatal("trace fused an empty dominant block")
+			}
+			// The fail target must be the branch slot itself, still present
+			// in the compacted layout.
+			dp := f.prog.dp.Load()
+			if int(tr.failTgt) < 0 || int(tr.failTgt) >= len(dp.insns) {
+				t.Fatalf("failTgt %d out of layout range %d", tr.failTgt, len(dp.insns))
+			}
+			if fb := &dp.insns[tr.failTgt]; fb.op != tr.op || fb.imm != tr.imm {
+				t.Fatalf("failTgt slot is %+v, want the original branch", fb)
+			}
+			if !tr.exit {
+				if int(in.tgt) < 0 || int(in.tgt) >= len(dp.insns) {
+					t.Fatalf("trace continuation %d out of layout range %d", in.tgt, len(dp.insns))
+				}
+			}
+		})
+	}
+}
+
+// tier2Worlds builds the four-way fixture set: raw interpreter, tier 0,
+// trace-free tier 1, and a profile-warmed tier 2. The tier-2 fixture is
+// promoted through the real profile (warm fires, then reoptimize with
+// traces) and must actually reach tier 2.
+func tier2Worlds(t *testing.T, build func() *Program, hot, cold uint64) (*equivFixture, map[string]*equivFixture) {
+	t.Helper()
+	raw := newEquivFixture(t, build, 1)
+	worlds := map[string]*equivFixture{
+		"tier0": newEquivFixture(t, build, 1),
+		"tier1": newEquivFixture(t, build, 1),
+		"tier2": newEquivFixture(t, build, 1),
+	}
+	for tier, f := range worlds {
+		if tier == "tier2" {
+			warmTier2(t, f, hot, cold)
+			f.prog.dp.Store(reoptimize(f.prog.dp.Load(), true))
+			if f.prog.DecodeTier() != 2 {
+				t.Fatalf("tier2 world stuck at tier %d", f.prog.DecodeTier())
+			}
+			continue
+		}
+		maps := f.maps
+		if err := decode(f.prog, func(fd int64) Map { return maps[fd] }, 0); err != nil {
+			t.Fatal(err)
+		}
+		if tier == "tier1" {
+			f.prog.dp.Store(reoptimize(f.prog.dp.Load(), false))
+		}
+	}
+	return raw, worlds
+}
+
+// runTier2Equiv drives every world over ctxs and demands identical
+// results — including the retired-instruction count — and identical
+// final map/perf state.
+func runTier2Equiv(t *testing.T, raw *equivFixture, worlds map[string]*equivFixture, ctxs []*ExecContext) {
+	t.Helper()
+	rawVM := NewVM(raw.maps)
+	for i, ctx := range ctxs {
+		rres, rerr := rawVM.RunInterpreted(raw.prog, ctx)
+		for tier, f := range worlds {
+			ctx2 := *ctx
+			res, err := NewVM(f.maps).Run(f.prog, &ctx2)
+			if (rerr == nil) != (err == nil) {
+				t.Fatalf("%s ctx %d: err %v, raw err %v", tier, i, err, rerr)
+			}
+			if res != rres {
+				t.Fatalf("%s ctx %d: result %+v, raw %+v", tier, i, res, rres)
+			}
+		}
+	}
+	rh, ra, rr := raw.mapState()
+	for tier, f := range worlds {
+		h, a, recs := f.mapState()
+		if !reflect.DeepEqual(rh, h) || !reflect.DeepEqual(ra, a) || !reflect.DeepEqual(rr, recs) {
+			t.Fatalf("%s: map/perf state diverged from raw", tier)
+		}
+	}
+}
+
+// TestTier2Equivalence checks that a trace-carrying program produces
+// raw-identical results, retire counts, and map/perf state on both the
+// dominant (guard hit) and cold (guard miss) paths, across every
+// dispatch tier at once.
+func TestTier2Equivalence(t *testing.T) {
+	words := []uint64{100, 11, 10, 3, 0, 200, 1 << 40}
+	for _, tc := range []struct {
+		name      string
+		build     func() *Program
+		hot, cold uint64
+	}{
+		{"join_taken", joinTraceProg, 100, 3},
+		{"join_fallthrough", joinTraceProg, 3, 100},
+		{"exit_taken", exitTraceProg, 100, 3},
+		{"exit_fallthrough", exitTraceProg, 3, 100},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			raw, worlds := tier2Worlds(t, tc.build, tc.hot, tc.cold)
+			var ctxs []*ExecContext
+			for i, w := range words {
+				ctxs = append(ctxs, &ExecContext{PID: uint32(i), NowNs: int64(i) * 10, Words: []uint64{w}})
+			}
+			runTier2Equiv(t, raw, worlds, ctxs)
+		})
+	}
+}
+
+// TestTier2GuardCorruption force-fails every trace guard — the guard
+// opcode is clobbered so jumpTaken can never match expect — and demands
+// the fallback through the retained branch slot still produce results,
+// retire counts, and state bit-identical to the raw interpreter. This is
+// the tier-2 analogue of TestTier1GuardFallback: a broken guard may cost
+// speed, never correctness.
+func TestTier2GuardCorruption(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		build     func() *Program
+		hot, cold uint64
+	}{
+		{"join_taken", joinTraceProg, 100, 3},
+		{"join_fallthrough", joinTraceProg, 3, 100},
+		{"exit_taken", exitTraceProg, 100, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			raw, worlds := tier2Worlds(t, tc.build, tc.hot, tc.cold)
+			traces := findTrace(worlds["tier2"].prog)
+			if len(traces) == 0 {
+				t.Fatal("no traces to corrupt")
+			}
+			for _, in := range traces {
+				in.tr.op = OpInvalid // jumpTaken reports not-taken for unknown ops
+				in.tr.expect = true  // ... so the guard can never match
+			}
+			var ctxs []*ExecContext
+			for i, w := range []uint64{100, 3, 11, 10, 0} {
+				ctxs = append(ctxs, &ExecContext{PID: uint32(i), NowNs: int64(i), Words: []uint64{w}})
+			}
+			runTier2Equiv(t, raw, worlds, ctxs)
+		})
+	}
+}

@@ -58,19 +58,20 @@ func (vm *VM) Run(p *Program, ctx *ExecContext) (ExecResult, error) {
 }
 
 // runDecoded is the hot dispatch loop over the pre-resolved form. Every
-// reachable slot is a fused straight-line run, a jump, or exit, so the
-// outer loop only steers control flow; execRun retires the straight-line
-// work. While the program is in tier 0 the loop also maintains the
-// profile — a program-entry count and a per-run-slot hit count — and
-// swaps in the tier-1 re-decode once the program crosses its hotness
-// threshold. The swap is a single atomic store; this run keeps executing
-// the form it loaded, the next fire picks up the new one.
+// reachable slot is a fused straight-line run, a guarded trace, a jump,
+// or exit, so the outer loop only steers control flow; execRun retires
+// the straight-line work. While the program is in tier 0 the loop also
+// maintains the profile — a program-entry count, a per-slot hit count,
+// and a taken count on conditional jumps — and swaps in the tier-1/2
+// re-decode once the program crosses its hotness threshold. The swap is
+// a single atomic store; this run keeps executing the form it loaded,
+// the next fire picks up the new one.
 func (vm *VM) runDecoded(p *Program, dp *decodedProgram, ctx *ExecContext) (ExecResult, error) {
 	profiling := dp.tier == 0
 	if profiling {
 		dp.runs++
 		if dp.hotThreshold != 0 && dp.runs >= dp.hotThreshold {
-			ndp := reoptimize(dp)
+			ndp := reoptimize(dp, true)
 			p.dp.Store(ndp)
 			dp = ndp
 			profiling = false
@@ -84,7 +85,7 @@ func (vm *VM) runDecoded(p *Program, dp *decodedProgram, ctx *ExecContext) (Exec
 	insns := 0
 	pc := 0
 	for {
-		if pc < 0 || pc >= len(code) {
+		if uint(pc) >= uint(len(code)) {
 			return ExecResult{}, fmt.Errorf("ebpf: %q pc %d out of range", p.Name, pc)
 		}
 		in := &code[pc]
@@ -114,68 +115,84 @@ func (vm *VM) runDecoded(p *Program, dp *decodedProgram, ctx *ExecContext) (Exec
 			}
 			return ExecResult{R0: regs[R0], Insns: insns}, nil
 
+		case opTrace:
+			// Tier-2 guarded trace: the block runs, then the guard — the
+			// block's original conditional jump — either commits the fused
+			// dominant successor or falls back to the branch slot itself,
+			// which stays in the layout and re-executes at tier 1. The
+			// fallback retires nothing here (the branch retires normally on
+			// re-execution), so a corrupted guard degrades to the plain
+			// branch instead of misdirecting execution — the same contract
+			// as every tier-1 pattern-op guard.
+			insns += int(in.retire) - 1
+			if err := vm.execRun(in.run, dp, regs, stack, ctx); err != nil {
+				return ExecResult{}, fmt.Errorf("ebpf: %q: %w", p.Name, err)
+			}
+			tr := in.tr
+			if jumpTaken(tr.op, regs[tr.dst&regIdxMask], regs[tr.src&regIdxMask], tr.imm) == tr.expect {
+				insns += int(tr.retireHit)
+				if err := vm.execRun(tr.runB, dp, regs, stack, ctx); err != nil {
+					return ExecResult{}, fmt.Errorf("ebpf: %q: %w", p.Name, err)
+				}
+				if tr.exit {
+					return ExecResult{R0: regs[R0], Insns: insns}, nil
+				}
+				pc = int(in.tgt)
+				continue
+			}
+			pc = int(tr.failTgt)
+			continue
+
 		case OpJa:
 			pc = int(in.tgt)
 			continue
 		case OpJeqImm:
 			if regs[in.dst&regIdxMask] == in.imm {
-				pc = int(in.tgt)
-				continue
+				goto taken
 			}
 		case OpJneImm:
 			if regs[in.dst&regIdxMask] != in.imm {
-				pc = int(in.tgt)
-				continue
+				goto taken
 			}
 		case OpJgtImm:
 			if regs[in.dst&regIdxMask] > in.imm {
-				pc = int(in.tgt)
-				continue
+				goto taken
 			}
 		case OpJgeImm:
 			if regs[in.dst&regIdxMask] >= in.imm {
-				pc = int(in.tgt)
-				continue
+				goto taken
 			}
 		case OpJltImm:
 			if regs[in.dst&regIdxMask] < in.imm {
-				pc = int(in.tgt)
-				continue
+				goto taken
 			}
 		case OpJleImm:
 			if regs[in.dst&regIdxMask] <= in.imm {
-				pc = int(in.tgt)
-				continue
+				goto taken
 			}
 		case OpJeqReg:
 			if regs[in.dst&regIdxMask] == regs[in.src&regIdxMask] {
-				pc = int(in.tgt)
-				continue
+				goto taken
 			}
 		case OpJneReg:
 			if regs[in.dst&regIdxMask] != regs[in.src&regIdxMask] {
-				pc = int(in.tgt)
-				continue
+				goto taken
 			}
 		case OpJgtReg:
 			if regs[in.dst&regIdxMask] > regs[in.src&regIdxMask] {
-				pc = int(in.tgt)
-				continue
+				goto taken
 			}
 		case OpJgeReg:
 			if regs[in.dst&regIdxMask] >= regs[in.src&regIdxMask] {
-				pc = int(in.tgt)
-				continue
+				goto taken
 			}
 		case OpJltReg:
 			if regs[in.dst&regIdxMask] < regs[in.src&regIdxMask] {
-				pc = int(in.tgt)
-				continue
+				goto taken
 			}
 		case OpJleReg:
 			if regs[in.dst&regIdxMask] <= regs[in.src&regIdxMask] {
-				pc = int(in.tgt)
-				continue
+				goto taken
 			}
 
 		case OpExit:
@@ -184,8 +201,58 @@ func (vm *VM) runDecoded(p *Program, dp *decodedProgram, ctx *ExecContext) (Exec
 		default:
 			return ExecResult{}, fmt.Errorf("ebpf: %q invalid opcode at pc %d", p.Name, pc)
 		}
+		// Only a not-taken conditional jump falls out of the switch: the
+		// edge profile (hits here, hits+taken below) is what tier-2 trace
+		// formation reads to find single-dominant-successor branches.
+		if profiling {
+			in.hits++
+		}
 		pc++
+		continue
+
+	taken:
+		if profiling {
+			in.hits++
+			if uint(pc) < uint(len(dp.takenCtr)) {
+				dp.takenCtr[pc]++
+			}
+		}
+		pc = int(in.tgt)
 	}
+}
+
+// jumpTaken evaluates a conditional-jump guard against operand values a
+// (dst register), b (src register), and the immediate. Unknown opcodes
+// report not-taken; an opTrace guard is only ever built from the
+// conditional opcodes below.
+func jumpTaken(op Op, a, b, imm uint64) bool {
+	switch op {
+	case OpJeqImm:
+		return a == imm
+	case OpJneImm:
+		return a != imm
+	case OpJgtImm:
+		return a > imm
+	case OpJgeImm:
+		return a >= imm
+	case OpJltImm:
+		return a < imm
+	case OpJleImm:
+		return a <= imm
+	case OpJeqReg:
+		return a == b
+	case OpJneReg:
+		return a != b
+	case OpJgtReg:
+		return a > b
+	case OpJgeReg:
+		return a >= b
+	case OpJltReg:
+		return a < b
+	case OpJleReg:
+		return a <= b
+	}
+	return false
 }
 
 // execRun executes a fused straight-line run back to back: no pc

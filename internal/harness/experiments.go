@@ -331,6 +331,12 @@ func OverheadsExperiment(cfg Config) (Result, error) {
 		// kernel tracer must drop.
 		SpawnChatter(w, 24, 2*sim.Millisecond)
 	}
+	// Intern-table traffic bracket: the counters are process-global, so
+	// only the delta over this experiment is attributable to it. A capped
+	// delta means name decoding fell back to per-record allocation — the
+	// first place to look when the drain's allocation profile regresses.
+	hits0, misses0, capped0 := trace.InternStats()
+
 	// The filtered and unfiltered sessions are independent worlds with the
 	// same seed; run them as a two-run series so they fan out too. Only
 	// volume and cost counters matter here, so the traces stream into
@@ -394,6 +400,16 @@ func OverheadsExperiment(cfg Config) (Result, error) {
 			ok = false
 			notes = append(notes, fmt.Sprintf("%d records lost on unbounded rings", s.LostRecords))
 		}
+	}
+	// Interning must have absorbed the name decoding: any capped lookup
+	// re-paid a per-record allocation on the drain path. Healthy runs add
+	// no note (the counters land in Notes, not Text, because they are
+	// process-global and would break figure-text byte equivalence).
+	if hits1, misses1, capped1 := trace.InternStats(); capped1 != capped0 {
+		ok = false
+		notes = append(notes, fmt.Sprintf(
+			"intern table capped: %d lookups fell back to allocation (hits +%d, misses +%d) — drain B/op is regressing here",
+			capped1-capped0, hits1-hits0, misses1-misses0))
 	}
 	return Result{ID: "overheads", Title: "Tracing overheads (Sec. VI)", Text: b.String(), OK: ok, Notes: notes}, nil
 }

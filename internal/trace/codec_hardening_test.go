@@ -127,6 +127,37 @@ func TestInternReturnsCanonicalStrings(t *testing.T) {
 	}
 }
 
+// TestInternStatsCounters checks the traffic counters: a repeated name
+// counts one miss then hits, and an oversized name counts as capped
+// (the fell-back-to-allocation bucket the drain-alloc gate attributes
+// regressions to). The counters are process-global, so only deltas are
+// asserted.
+func TestInternStatsCounters(t *testing.T) {
+	h0, m0, c0 := InternStats()
+	InternBytes([]byte("stats_probe/topic_a"))
+	InternBytes([]byte("stats_probe/topic_a"))
+	InternBytes([]byte("stats_probe/topic_a"))
+	h1, m1, c1 := InternStats()
+	if m1-m0 < 1 {
+		t.Fatalf("miss counter did not advance: %d -> %d", m0, m1)
+	}
+	if h1-h0 < 2 {
+		t.Fatalf("hit counter advanced %d, want >= 2", h1-h0)
+	}
+	if c1 != c0 {
+		t.Fatalf("capped counter advanced %d on in-bounds names", c1-c0)
+	}
+	long := make([]byte, internMaxLen+1)
+	for i := range long {
+		long[i] = 'x'
+	}
+	InternBytes(long)
+	InternString(string(long))
+	if _, _, c2 := InternStats(); c2-c1 != 2 {
+		t.Fatalf("capped counter advanced %d on oversized names, want 2", c2-c1)
+	}
+}
+
 // TestBinaryDecodeInternsNames checks decoded events reuse one string per
 // distinct node/topic across records.
 func TestBinaryDecodeInternsNames(t *testing.T) {

@@ -1,6 +1,9 @@
 package trace
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Node and topic names recur on almost every record of a trace — a few
 // dozen distinct strings across millions of events — so decoding paid one
@@ -18,6 +21,12 @@ import "sync"
 // the input is adversarial — further misses fall back to plain
 // allocation rather than growing without bound. Worst-case pinned memory
 // is internMaxEntries × internMaxLen = 16 MiB.
+//
+// That fallback is silent by design — correctness never depends on the
+// table — so the counters below exist to make it visible: a drain whose
+// allocation profile regresses can be attributed to a capped table
+// (every capped lookup is one string allocation per record again)
+// instead of being hunted through the decode path.
 type internTable struct {
 	mu sync.RWMutex
 	m  map[string]string
@@ -30,12 +39,28 @@ const (
 
 var interned = internTable{m: make(map[string]string)}
 
+// Intern traffic counters, process-global like the table itself: hits
+// returned a canonical string, misses inserted a new one, capped fell
+// back to plain allocation (table full, or the name exceeded
+// internMaxLen). capped is the number the drain-allocation gate cares
+// about: every capped lookup re-pays the per-record string allocation
+// interning exists to remove.
+var internHits, internMisses, internCapped atomic.Uint64
+
+// InternStats reports cumulative intern-table traffic: canonical-string
+// hits, first-sight insertions, and lookups that fell back to plain
+// allocation because the table was full or the name oversized.
+func InternStats() (hits, misses, capped uint64) {
+	return internHits.Load(), internMisses.Load(), internCapped.Load()
+}
+
 // InternBytes returns the canonical string for the byte content of b.
 func InternBytes(b []byte) string {
 	if len(b) == 0 {
 		return ""
 	}
 	if len(b) > internMaxLen {
+		internCapped.Add(1)
 		return string(b)
 	}
 	t := &interned
@@ -43,16 +68,21 @@ func InternBytes(b []byte) string {
 	s, ok := t.m[string(b)]
 	t.mu.RUnlock()
 	if ok {
+		internHits.Add(1)
 		return s
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if s, ok = t.m[string(b)]; ok {
+		internHits.Add(1)
 		return s
 	}
 	s = string(b)
 	if len(t.m) < internMaxEntries {
 		t.m[s] = s
+		internMisses.Add(1)
+	} else {
+		internCapped.Add(1)
 	}
 	return s
 }
@@ -64,6 +94,7 @@ func InternString(s string) string {
 		return ""
 	}
 	if len(s) > internMaxLen {
+		internCapped.Add(1)
 		return s
 	}
 	t := &interned
@@ -71,15 +102,20 @@ func InternString(s string) string {
 	c, ok := t.m[s]
 	t.mu.RUnlock()
 	if ok {
+		internHits.Add(1)
 		return c
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if c, ok = t.m[s]; ok {
+		internHits.Add(1)
 		return c
 	}
 	if len(t.m) < internMaxEntries {
 		t.m[s] = s
+		internMisses.Add(1)
+	} else {
+		internCapped.Add(1)
 	}
 	return s
 }

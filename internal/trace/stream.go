@@ -160,7 +160,15 @@ type MergeStream struct {
 
 // NewMergeStream creates a merge over cursors. Nil cursors are skipped.
 func NewMergeStream(curs ...Cursor) *MergeStream {
-	m := &MergeStream{curs: make([]Cursor, 0, len(curs))}
+	return new(MergeStream).Reset(curs...)
+}
+
+// Reset re-targets the merge at a new cursor set, reusing the cursor,
+// head, and heap storage of earlier runs: a drain loop that keeps one
+// MergeStream and Resets it per segment allocates nothing at steady
+// state. Nil cursors are skipped. Returns m for chaining into Run.
+func (m *MergeStream) Reset(curs ...Cursor) *MergeStream {
+	m.curs = m.curs[:0]
 	for _, c := range curs {
 		if c != nil {
 			m.curs = append(m.curs, c)
@@ -206,8 +214,13 @@ func (m *MergeStream) siftDown(i int) {
 
 // prime pulls the first event of every cursor and builds the heap.
 func (m *MergeStream) prime() error {
-	m.heads = make([]Event, len(m.curs))
-	m.heap = make([]int, 0, len(m.curs))
+	if cap(m.heads) < len(m.curs) {
+		m.heads = make([]Event, len(m.curs))
+		m.heap = make([]int, 0, len(m.curs))
+	} else {
+		m.heads = m.heads[:len(m.curs)]
+		m.heap = m.heap[:0]
+	}
 	for i, c := range m.curs {
 		ev, ok, err := c.Next()
 		if err != nil {

@@ -36,6 +36,14 @@ type Bundle struct {
 	initIDs []int
 	rtIDs   []int
 	knIDs   []int
+
+	// Streaming-drain scratch, reused across StreamTo calls so a
+	// steady-state drain loop allocates nothing: per-ring record cursors,
+	// the cursor-reference slice handed to the merge, and the merge
+	// itself (which reuses its heads/heap storage on Reset).
+	drainCurs []recordCursor
+	drainRefs []trace.Cursor
+	merge     trace.MergeStream
 }
 
 // NewBundle constructs maps, perf buffers, and all probe programs, and
@@ -284,11 +292,11 @@ func (b *Bundle) BytesPerCPU() []uint64 {
 }
 
 // recordCursor adapts one drained per-CPU ring segment to a decoded
-// event stream: records decode lazily, one at a time, as the merge pulls
-// them, so the streaming drain never materializes a per-ring event
-// slice.
+// event stream: records decode lazily, one at a time, directly out of
+// the ring's arena chunks as the merge pulls them, so the streaming
+// drain never materializes a per-ring record or event slice.
 type recordCursor struct {
-	recs *ebpf.RecordCursor
+	recs ebpf.RecordCursor
 }
 
 // Next implements trace.Cursor.
@@ -311,23 +319,54 @@ func (c *recordCursor) Next() (trace.Event, bool, error) {
 // (Time, Seq) since virtual time never runs backwards and the shared
 // emission counter only grows. No merged trace is ever materialized: the
 // merge holds at most one decoded event per ring, so peak buffering is
-// bounded by the ring count (plus the raw segments already resident in
-// the ring arenas), independent of how many events a drain covers.
-func (b *Bundle) StreamTo(sink trace.Sink) error {
-	var cursors []trace.Cursor
-	for _, pb := range b.perfBuffers() {
+// bounded by the ring count (plus the raw segments still resident in
+// the ring arena chunks), independent of how many events a drain covers.
+//
+// The drain is zero-copy and, at steady state, allocation-free: records
+// decode in place out of the arena chunks (DecodeRecord copies nothing
+// out of a record — scalar fields are read directly and names intern to
+// canonical strings), the chunks stay pinned until the sink has seen
+// every event of the segment, and on return they are released to their
+// rings for the next emission burst to reuse.
+func (b *Bundle) StreamTo(sink trace.Sink) (err error) {
+	pbs := b.perfBuffers()
+	nrings := 0
+	for _, pb := range pbs {
+		nrings += pb.NumRings()
+	}
+	if cap(b.drainCurs) < nrings {
+		b.drainCurs = make([]recordCursor, nrings)
+	}
+	curs := b.drainCurs[:nrings]
+	refs := b.drainRefs[:0]
+	if cap(refs) < nrings {
+		refs = make([]trace.Cursor, 0, nrings)
+	}
+	n := 0
+	for _, pb := range pbs {
 		for cpu := 0; cpu < pb.NumRings(); cpu++ {
-			rc := pb.DrainCursor(cpu)
-			if rc.Len() == 0 {
+			rc := &curs[n]
+			n++
+			pb.DrainCursorInto(&rc.recs, cpu)
+			if rc.recs.Len() == 0 {
+				rc.recs.Release()
 				continue
 			}
-			cursors = append(cursors, &recordCursor{recs: rc})
+			refs = append(refs, rc)
 		}
 	}
-	if len(cursors) == 0 {
+	b.drainRefs = refs[:0]
+	if len(refs) == 0 {
 		return nil
 	}
-	return trace.NewMergeStream(cursors...).Run(sink)
+	// Chunks stay pinned until the sink returns; only then do the
+	// segments recycle.
+	defer func() {
+		for i := range curs[:n] {
+			curs[i].recs.Release()
+		}
+	}()
+	return b.merge.Reset(refs...).Run(sink)
 }
 
 // Drain decodes and merges all pending records from the three tracers into

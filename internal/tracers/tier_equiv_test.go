@@ -99,12 +99,12 @@ func TestTieredBundlePromotes(t *testing.T) {
 	w.Run(time500ms)
 	promoted := 0
 	for _, p := range b.Programs() {
-		if p.DecodeTier() == 1 {
+		if p.DecodeTier() >= 1 {
 			promoted++
 		}
 	}
 	if promoted == 0 {
-		t.Fatal("no tracer program was promoted to tier 1")
+		t.Fatal("no tracer program was promoted past tier 0")
 	}
 }
 

@@ -20,6 +20,7 @@ import sys
 # trace-store read paths.
 GATED = [
     "BenchmarkEBPF_DispatchDecoded",
+    "BenchmarkEBPF_DispatchTier2",
     "BenchmarkEBPF_ProbeDispatch",
     "BenchmarkEBPF_PerfEmitPerCPU",
     "BenchmarkBundle_StreamDrain",
@@ -32,10 +33,14 @@ GATED = [
     "BenchmarkSegmentWriteV2",
 ]
 
-# Alloc regressions on the zero-alloc fire path are failures at any size.
+# Alloc regressions on the zero-alloc paths are failures at any size:
+# the fire path (dispatch) and the streaming ring->sink drain, whose
+# B/op is per-drain-constant under the zero-copy decode.
 ZERO_ALLOC = [
     "BenchmarkEBPF_DispatchDecoded",
+    "BenchmarkEBPF_DispatchTier2",
     "BenchmarkEBPF_ProbeDispatch",
+    "BenchmarkBundle_StreamDrain",
 ]
 
 

@@ -11,10 +11,15 @@ benches = {}
 # The name group must not swallow the -N GOMAXPROCS suffix go test
 # appends on multi-core machines, or baseline keys would depend on the
 # machine's core count and never match a baseline taken elsewhere.
-line_re = re.compile(
-    r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op"
-    r"(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?"
-)
+line_re = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op")
+# B/op and allocs/op are matched separately because go test prints
+# ReportMetric units (events/op, B/event, ...) between ns/op and the
+# -benchmem columns; a single left-to-right pattern anchored at ns/op
+# would stop at the first custom metric and silently drop the
+# allocation columns for exactly the benchmarks that report extras —
+# including the streaming-drain benchmarks the alloc gate watches.
+bytes_re = re.compile(r"\s(\d+) B/op\b")
+allocs_re = re.compile(r"\s(\d+) allocs/op\b")
 
 for line in sys.stdin:
     line = line.rstrip("\n")
@@ -26,10 +31,10 @@ for line in sys.stdin:
         continue
     name, iters, ns = m.group(1), int(m.group(2)), float(m.group(3))
     entry = {"iterations": iters, "ns_per_op": ns}
-    if m.group(5) is not None:
-        entry["bytes_per_op"] = int(m.group(5))
-    if m.group(6) is not None:
-        entry["allocs_per_op"] = int(m.group(6))
+    if bm := bytes_re.search(line):
+        entry["bytes_per_op"] = int(bm.group(1))
+    if am := allocs_re.search(line):
+        entry["allocs_per_op"] = int(am.group(1))
     # With -count=N, keep the fastest run: the minimum is the least
     # noise-contaminated estimate of a benchmark's true cost, so both
     # the baseline and the comparison side gate on min-of-N.
