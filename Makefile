@@ -34,6 +34,13 @@ bench-smoke:
 stream-bench:
 	$(GO) test -run '^$$' -bench 'Bundle_|Alg1_|Trace_Merge|Store' -benchmem .
 
+# Parallel storage pipeline at 1 and 4 scheduler threads: the speedup
+# table in docs/PERFORMANCE.md comes from this target on a multi-core
+# host (a single-core runner reports the coordination-overhead floor
+# at both settings, not a speedup).
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'StoreStreamSessionParallel|StoreQuerySessionParallel|SegmentWriteV2Async|StoreStreamSession$$|StoreQuerySession$$|SegmentWriteV2$$' -benchmem -cpu 1,4 .
+
 # Run the suite and diff against BENCH_baseline.json: fails on >15% ns/op
 # regression of the named hot-path benchmarks (scripts/bench_compare.py).
 # -count=5 with min-of-N selection in bench_to_json keeps scheduler noise

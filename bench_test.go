@@ -8,6 +8,8 @@
 package rostracer_bench
 
 import (
+	"fmt"
+	"sort"
 	"testing"
 
 	"github.com/tracesynth/rostracer/internal/apps"
@@ -844,3 +846,132 @@ func BenchmarkSegmentWriteV1(b *testing.B) { benchSegmentWrite(b, trace.FormatV1
 // encoder; its B/event against V1's is the compression ratio
 // docs/PERFORMANCE.md reports.
 func BenchmarkSegmentWriteV2(b *testing.B) { benchSegmentWrite(b, trace.FormatV2) }
+
+// --- parallel storage pipeline ---
+//
+// The three parallel read/write benchmarks pin Parallelism explicitly
+// instead of inheriting GOMAXPROCS, so the concurrent structure
+// (prefetch goroutines, decode pool, encode thread) is exercised — and
+// its coordination overhead measured — even on a single-CPU runner. Run
+// them with -cpu 1,4 to see the actual core scaling; on one core they
+// report the overhead floor of the parallel paths, not a speedup.
+
+// BenchmarkStoreStreamSessionParallel is BenchmarkStoreStreamSession
+// with four prefetching segment decoders feeding the merge.
+func BenchmarkStoreStreamSessionParallel(b *testing.B) {
+	st, sess, want := benchStoreSession(b, 10*sim.Second, 8)
+	st.Parallelism = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var kc trace.KindCounter
+		if err := st.StreamSession(sess, &kc); err != nil {
+			b.Fatal(err)
+		}
+		if kc.Total() != want {
+			b.Fatalf("streamed %d events, want %d", kc.Total(), want)
+		}
+	}
+}
+
+// BenchmarkStoreQuerySessionParallel measures the concurrent block
+// decode on a wide window (60% of the session, many blocks per
+// segment), where the per-block fan-out has enough work to matter —
+// the narrow-window query above reads too few blocks to parallelize.
+func BenchmarkStoreQuerySessionParallel(b *testing.B) {
+	st, sess, _ := benchStoreSession(b, 10*sim.Second, 8)
+	st.Parallelism = 4
+	f := trace.Filter{
+		T0: sim.Time(2 * sim.Second),
+		T1: sim.Time(8 * sim.Second),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last trace.QueryStats
+	for i := 0; i < b.N; i++ {
+		var kc trace.KindCounter
+		stats, err := st.QuerySession(sess, f, &kc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if kc.Total() == 0 || kc.Total() != stats.RecordsMatched {
+			b.Fatalf("window matched %d events (stats %+v)", kc.Total(), stats)
+		}
+		last = stats
+	}
+	b.ReportMetric(float64(last.BlocksRead), "blocks-read/op")
+	b.ReportMetric(float64(st.ResolveParallelism()), "workers")
+}
+
+// BenchmarkSegmentWriteV2Async measures the v2 encoder with block
+// encoding on the background goroutine: the caller's cost per event is
+// appending to the open block plus the double-buffer handoff at each
+// block seal.
+func BenchmarkSegmentWriteV2Async(b *testing.B) {
+	tr := avpTrace(b, 10*sim.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		var cw countWriter
+		sw := trace.NewSegmentWriterFormat(&cw, trace.FormatV2, 0)
+		sw.EnableAsync()
+		for _, e := range tr.Events {
+			sw.Observe(e)
+		}
+		if err := sw.Close(); err != nil {
+			b.Fatal(err)
+		}
+		bytes = cw.n
+	}
+	b.ReportMetric(float64(tr.Len()), "events/op")
+	b.ReportMetric(float64(bytes)/float64(tr.Len()), "B/event")
+}
+
+// BenchmarkSnapshotIncremental measures one live Snapshot after the
+// service has already folded sessions of increasing length. Each
+// iteration folds a small fixed delta and snapshots; since the engine
+// keeps persistent extraction and DAG state, ns/op must stay flat as
+// the preload grows — the incremental property. (The batch pipeline's
+// cost over the same preloads is BenchmarkAlg1_ExtractModel-shaped:
+// linear in session length.)
+func BenchmarkSnapshotIncremental(b *testing.B) {
+	full := avpTrace(b, 16*sim.Second)
+	full.SortByTime()
+	for _, preload := range []sim.Duration{2 * sim.Second, 8 * sim.Second, 16 * sim.Second} {
+		b.Run(fmt.Sprintf("preload=%ds", preload/sim.Second), func(b *testing.B) {
+			cut := sort.Search(full.Len(), func(i int) bool {
+				return full.Events[i].Time >= sim.Time(preload)
+			})
+			if cut == 0 {
+				b.Fatal("empty preload")
+			}
+			svc := core.NewSnapshotService()
+			svc.ObserveBatch(full.Events[:cut])
+			if s := svc.Snapshot(); len(s.Model.Callbacks) == 0 {
+				b.Fatal("empty model after preload")
+			}
+			// Monotone synthetic sched delta continuing past the preload:
+			// folds through the full Observe path without disturbing the
+			// extracted callbacks.
+			tm := full.Events[cut-1].Time
+			seq := full.Events[cut-1].Seq
+			delta := make([]trace.Event, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range delta {
+					tm += sim.Time(sim.Microsecond)
+					seq++
+					delta[j] = trace.Event{Time: tm, Seq: seq,
+						Kind: trace.KindSchedSwitch, PrevPID: 1, NextPID: 2}
+				}
+				svc.ObserveBatch(delta)
+				s := svc.Snapshot()
+				if len(s.Model.Callbacks) == 0 || s.DAG == nil {
+					b.Fatal("empty snapshot")
+				}
+			}
+		})
+	}
+}

@@ -283,19 +283,45 @@ func firstStart(cb *Callback) sim.Time {
 //   - a vertex whose subscribed topic is fed by more than one publisher is
 //     marked as an OR junction.
 func BuildDAG(m *Model) *DAG {
+	return buildDAG(m, nil)
+}
+
+// buildDAG is BuildDAG with the timer-period estimator injectable:
+// periodOf (nil selects Callback.EstimatePeriod) lets the incremental
+// snapshot engine substitute its O(1) streaming median for the batch
+// sort, without which every snapshot would re-sort every timer's full
+// inter-start gap history.
+func buildDAG(m *Model, periodOf func(*Callback) sim.Duration) *DAG {
 	d := NewDAG()
 	keys := canonicalKeys(m.Callbacks)
 
-	// Vertices.
+	// Vertices. Canonical keys are unique per callback within one model
+	// (ordinal disambiguation splits every residual collision group), so
+	// in the common case each vertex has exactly one contributor and can
+	// share its samples and instances — full-capacity-clamped, so later
+	// appends by a consumer (MergeDAGs) reallocate instead of writing
+	// into the callback's backing arrays. A second contributor to the
+	// same key falls back to copy-then-merge.
+	sharedV := make(map[*Vertex]bool)
 	for _, cb := range m.Callbacks {
 		key := keys[cb]
 		v, ok := d.Vertices[key]
 		if !ok {
 			v = &Vertex{Key: key, Node: cb.Node, PID: cb.PID, Type: cb.Type, IsSync: cb.IsSync}
+			v.Stats = cb.Stats
+			v.Stats.Samples = clampDurations(cb.Stats.Samples)
+			v.Instances = clampInstances(cb.Instances)
+			sharedV[v] = true
 			d.Vertices[key] = v
+		} else {
+			if sharedV[v] {
+				v.Stats.Samples = append([]sim.Duration(nil), v.Stats.Samples...)
+				v.Instances = append([]Instance(nil), v.Instances...)
+				sharedV[v] = false
+			}
+			v.Stats.Merge(cb.Stats)
+			v.Instances = append(v.Instances, cb.Instances...)
 		}
-		v.Stats.Merge(cb.Stats)
-		v.Instances = append(v.Instances, cb.Instances...)
 		if in := baseTopic(cb.InTopic); in != "" {
 			v.InTopics = mergeSorted(v.InTopics, in)
 		}
@@ -303,7 +329,13 @@ func BuildDAG(m *Model) *DAG {
 			v.OutTopics = mergeSorted(v.OutTopics, baseTopic(t))
 		}
 		if cb.Type == CBTimer {
-			if p := cb.EstimatePeriod(); p > 0 {
+			var p sim.Duration
+			if periodOf != nil {
+				p = periodOf(cb)
+			} else {
+				p = cb.EstimatePeriod()
+			}
+			if p > 0 {
 				v.PeriodEstimates = append(v.PeriodEstimates, p)
 			}
 		}
@@ -380,6 +412,13 @@ func BuildDAG(m *Model) *DAG {
 	}
 	return d
 }
+
+// clampDurations full-capacity-clamps a duration slice so appends by the
+// receiver reallocate instead of aliasing the source's backing array.
+func clampDurations(s []sim.Duration) []sim.Duration { return s[:len(s):len(s)] }
+
+// clampInstances is clampDurations for instance slices.
+func clampInstances(s []Instance) []Instance { return s[:len(s):len(s)] }
 
 func mergeSorted(list []string, s string) []string {
 	for _, x := range list {

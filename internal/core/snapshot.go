@@ -8,17 +8,25 @@ import (
 
 // SnapshotService puts a live synthesis loop on top of ModelBuilder: a
 // long-running tracer streams drained events in (concurrently, batch by
-// batch) while periodic Snapshot calls re-run the rest of Algorithm 1
-// over everything observed so far and hand out the current model and
-// DAG. ModelBuilder already supports re-finishing as the stream grows;
-// the service adds the locking that lets observation and snapshotting
-// interleave safely, which is all a drain loop and a snapshot ticker
-// need to share one builder.
+// batch) while periodic Snapshot calls hand out the current model and
+// DAG.
+//
+// Synthesis is incremental: a snapEngine folds only the events observed
+// since the previous snapshot into persistent model and DAG delta state
+// (extraction machines, search index, per-callback accumulators), so
+// Snapshot cost is proportional to the delta, not to session length.
+// Model building also runs off the observation lock — Observe holds mu
+// for one event fold; Snapshot holds it just long enough to capture the
+// builder's append-only buffers, then indexes, extracts, and builds the
+// DAG under its own serialization lock while observation continues.
 type SnapshotService struct {
-	mu  sync.Mutex
+	mu  sync.Mutex // guards b and obs: the whole Observe footprint
 	b   *ModelBuilder
-	seq int
 	obs uint64 // total events observed, ROS + sched
+
+	synthMu sync.Mutex // serializes snapshots; guards seq and eng
+	seq     int
+	eng     *snapEngine
 }
 
 // Snapshot is one point-in-time synthesis of the stream so far. Counters
@@ -35,7 +43,7 @@ type Snapshot struct {
 
 // NewSnapshotService returns a service over an empty builder.
 func NewSnapshotService() *SnapshotService {
-	return &SnapshotService{b: NewModelBuilder()}
+	return &SnapshotService{b: NewModelBuilder(), eng: newSnapEngine()}
 }
 
 // Observe implements trace.Sink. Safe for concurrent use; events must
@@ -71,19 +79,29 @@ func (s *SnapshotService) EventsObserved() uint64 {
 }
 
 // Snapshot synthesizes the model and DAG from everything observed so
-// far. The builder is not consumed: observation continues and later
-// snapshots see a superset of the stream.
+// far, folding only the delta since the previous snapshot. Observation
+// is blocked only for the buffer capture — the builder's ros and
+// closed-window buffers are append-only, so their captured prefixes
+// stay immutable while the fold and DAG build run outside the lock.
 func (s *SnapshotService) Snapshot() Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.synthMu.Lock()
+	defer s.synthMu.Unlock()
 	s.seq++
-	m := s.b.Finish()
+
+	s.mu.Lock()
+	ros, etLog := s.b.ros, s.b.etLog
+	obs, sched := s.obs, s.b.sched
+	s.mu.Unlock()
+
+	s.eng.fold(ros, etLog)
+	s.eng.resolvePending()
+	m, periodOf := s.eng.materialize()
 	return Snapshot{
 		Seq:         s.seq,
-		Events:      s.obs,
-		FoldedSched: s.b.SchedEventsFolded(),
-		BufferedROS: s.b.BufferedROSEvents(),
+		Events:      obs,
+		FoldedSched: sched,
+		BufferedROS: len(ros),
 		Model:       m,
-		DAG:         BuildDAG(m),
+		DAG:         buildDAG(m, periodOf),
 	}
 }

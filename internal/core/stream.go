@@ -33,6 +33,19 @@ type ModelBuilder struct {
 	open  map[uint32]*etWindow
 	et    map[etKey]sim.Duration
 	sched uint64
+
+	// etLog records closed windows in close order. It lets an incremental
+	// consumer (the snapshot engine) pick up exactly the windows closed
+	// since its last visit by remembering a log position, without touching
+	// the live et map — entries [0, n) never change once appended.
+	etLog []etEntry
+}
+
+// etEntry is one closed callback-instance window: its identity and the
+// accumulated execution time.
+type etEntry struct {
+	key etKey
+	et  sim.Duration
 }
 
 // etKey identifies one callback-instance window: the executor PID plus
@@ -79,6 +92,7 @@ func (b *ModelBuilder) Observe(e trace.Event) {
 					et += e.Time.Sub(w.last)
 				}
 				b.et[etKey{e.PID, w.startSeq}] = et
+				b.etLog = append(b.etLog, etEntry{etKey{e.PID, w.startSeq}, et})
 				delete(b.open, e.PID)
 			}
 		}

@@ -1,0 +1,344 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/tracesynth/rostracer/internal/faultinject"
+	"github.com/tracesynth/rostracer/internal/sim"
+)
+
+// streamWith reads a whole session with the given parallelism.
+func streamWith(t *testing.T, st *Store, session string, parallelism int) ([]Event, error) {
+	t.Helper()
+	st.Parallelism = parallelism
+	var col Collector
+	err := st.StreamSession(session, &col)
+	return col.Trace.Events, err
+}
+
+// TestStreamSessionParallelByteIdentical pins the tentpole invariant:
+// the prefetched multi-goroutine read path delivers exactly the event
+// sequence the sequential path delivers, for both formats.
+func TestStreamSessionParallelByteIdentical(t *testing.T) {
+	for _, format := range []Format{FormatV1, FormatV2} {
+		t.Run(format.String(), func(t *testing.T) {
+			segs := sessionEvents(11, 6, 700)
+			st := writeSessionSegmentsFormat(t, "run", segs, format)
+
+			want, err := streamWith(t, st, "run", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := streamWith(t, st, "run", 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("parallel StreamSession differs from sequential: %d vs %d events", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestStreamSessionParallelDamagedSegment checks the parallel path's
+// error semantics match the sequential path's: same delivered prefix,
+// same error, when one segment is truncated mid-record.
+func TestStreamSessionParallelDamagedSegment(t *testing.T) {
+	segs := sessionEvents(13, 4, 400)
+	st := writeSessionSegments(t, "run", segs)
+
+	// Tear the tail off one segment so its cursor errors mid-stream.
+	name := filepath.Join(st.Dir(), "run-0002.rtrc")
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(name, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	wantEvs, wantErr := streamWith(t, st, "run", 1)
+	gotEvs, gotErr := streamWith(t, st, "run", 8)
+	if wantErr == nil || gotErr == nil {
+		t.Fatalf("expected errors, got %v / %v", wantErr, gotErr)
+	}
+	if wantErr.Error() != gotErr.Error() {
+		t.Fatalf("parallel error differs:\n got %v\nwant %v", gotErr, wantErr)
+	}
+	if !reflect.DeepEqual(gotEvs, wantEvs) {
+		t.Fatalf("parallel prefix differs from sequential: %d vs %d events", len(gotEvs), len(wantEvs))
+	}
+}
+
+// TestQuerySessionParallelMatchesSequential pins the worker-pool block
+// decode to the sequential indexed path: same events, same stats, for a
+// spread of filters.
+func TestQuerySessionParallelMatchesSequential(t *testing.T) {
+	segs := sessionEvents(17, 5, 1200)
+	st := writeSessionSegmentsFormat(t, "run", segs, FormatV2)
+	st.BlockRecords = 32 // many blocks per segment so the pool has real work
+
+	// Rewrite with small blocks for a finer index.
+	for i, evs := range segs {
+		sw, err := st.WriteSegment("run", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range evs {
+			sw.Observe(e)
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var mid sim.Time
+	for _, seg := range segs {
+		for _, e := range seg {
+			if e.Time > mid {
+				mid = e.Time
+			}
+		}
+	}
+	filters := []Filter{
+		{},
+		{T0: mid / 3, T1: 2 * mid / 3},
+		{Kinds: []Kind{KindSchedSwitch}},
+		{T0: mid / 2, Kinds: []Kind{KindTakeInt, KindSubCBEnd}},
+		{Node: "no-such-node"},
+	}
+	for i, f := range filters {
+		t.Run(fmt.Sprintf("filter%d", i), func(t *testing.T) {
+			st.Parallelism = 1
+			var seq Collector
+			seqStats, err := st.QuerySession("run", f, &seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st.Parallelism = 8
+			var par Collector
+			parStats, err := st.QuerySession("run", f, &par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(par.Trace.Events, seq.Trace.Events) {
+				t.Fatalf("parallel QuerySession differs: %d vs %d events",
+					par.Trace.Len(), seq.Trace.Len())
+			}
+			if parStats != seqStats {
+				t.Fatalf("parallel stats differ:\n got %+v\nwant %+v", parStats, seqStats)
+			}
+		})
+	}
+}
+
+// TestSegmentWriterAsyncByteIdentical pins the off-thread encoder to the
+// synchronous one byte for byte, across block boundaries and the footer.
+func TestSegmentWriterAsyncByteIdentical(t *testing.T) {
+	segs := sessionEvents(19, 1, 900)
+	evs := segs[0]
+
+	var syncBuf bytes.Buffer
+	sw := NewSegmentWriterFormat(&syncBuf, FormatV2, 64)
+	for _, e := range evs {
+		sw.Observe(e)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var asyncBuf bytes.Buffer
+	aw := NewSegmentWriterFormat(&asyncBuf, FormatV2, 64)
+	aw.EnableAsync()
+	for _, e := range evs {
+		aw.Observe(e)
+	}
+	if err := aw.Flush(); err != nil { // mid-stream flush must not perturb layout
+		t.Fatal(err)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if aw.Count() != sw.Count() {
+		t.Fatalf("async Count = %d, sync %d", aw.Count(), sw.Count())
+	}
+	if !bytes.Equal(asyncBuf.Bytes(), syncBuf.Bytes()) {
+		t.Fatalf("async segment differs from sync: %d vs %d bytes", asyncBuf.Len(), syncBuf.Len())
+	}
+}
+
+// TestStoreAsyncEncodeByteIdentical checks the store-level knob: a
+// session written with AsyncEncode produces byte-identical segment
+// files, so every downstream reader (including the footer index) is
+// oblivious to how the bytes were produced.
+func TestStoreAsyncEncodeByteIdentical(t *testing.T) {
+	segs := sessionEvents(23, 3, 600)
+
+	write := func(async bool) *Store {
+		st, err := NewStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.AsyncEncode = async
+		st.BlockRecords = 48
+		for i, evs := range segs {
+			sw, err := st.WriteSegment("run", i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range evs {
+				sw.Observe(e)
+			}
+			if err := sw.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return st
+	}
+	syncSt, asyncSt := write(false), write(true)
+	for i := range segs {
+		name := fmt.Sprintf("run-%04d.rtrc", i)
+		a, err := os.ReadFile(filepath.Join(syncSt.Dir(), name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(asyncSt.Dir(), name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("segment %s differs between sync and async encode: %d vs %d bytes",
+				name, len(a), len(b))
+		}
+	}
+}
+
+// TestSegmentWriterAsyncDiskFault checks that a disk failing mid-segment
+// surfaces through the async writer's sticky error — by Close at the
+// latest — and that the failure classifies the same as the synchronous
+// path's.
+func TestSegmentWriterAsyncDiskFault(t *testing.T) {
+	segs := sessionEvents(29, 1, 600)
+	evs := segs[0]
+
+	run := func(async bool) error {
+		var buf bytes.Buffer
+		fw := faultinject.NewWriter(&buf, faultinject.WriteFault{Kind: faultinject.WriteFailAfter, N: 2000})
+		sw := NewSegmentWriterFormat(fw, FormatV2, 32)
+		if async {
+			sw.EnableAsync()
+		}
+		for _, e := range evs {
+			sw.Observe(e)
+		}
+		return sw.Close()
+	}
+	syncErr, asyncErr := run(false), run(true)
+	if syncErr == nil || asyncErr == nil {
+		t.Fatalf("expected disk-full errors, got sync=%v async=%v", syncErr, asyncErr)
+	}
+	if !errors.Is(asyncErr, faultinject.ErrDiskFull) {
+		t.Fatalf("async error lost its classification: %v", asyncErr)
+	}
+}
+
+// TestSegmentWriterAsyncConcurrentWriters exercises many async writers
+// at once — the multi-session service shape — under the race detector,
+// with one of them on a faulty disk.
+func TestSegmentWriterAsyncConcurrentWriters(t *testing.T) {
+	segs := sessionEvents(31, 8, 1600)
+	var wg sync.WaitGroup
+	errs := make([]error, len(segs))
+	for i, evs := range segs {
+		wg.Add(1)
+		go func(i int, evs []Event) {
+			defer wg.Done()
+			var buf bytes.Buffer
+			var w = NewSegmentWriterFormat(&buf, FormatV2, 16)
+			if i == 3 {
+				fw := faultinject.NewWriter(&buf, faultinject.WriteFault{Kind: faultinject.WriteFailAfter, N: 500})
+				w = NewSegmentWriterFormat(fw, FormatV2, 16)
+			}
+			w.EnableAsync()
+			for _, e := range evs {
+				w.Observe(e)
+				if w.Err() != nil {
+					break
+				}
+			}
+			errs[i] = w.Close()
+		}(i, evs)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if i == 3 {
+			if err == nil {
+				t.Fatalf("writer %d on faulty disk reported no error", i)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+}
+
+// TestPrefetchCursorEarlyClose exercises the cancellation path: a
+// consumer that abandons the stream mid-flight must be able to Close
+// without deadlocking, and Close must win the race against a producer
+// blocked on a full channel.
+func TestPrefetchCursorEarlyClose(t *testing.T) {
+	evs := make([]Event, 4096)
+	for i := range evs {
+		evs[i] = Event{Time: sim.Time(i), Seq: uint64(i), Kind: KindSchedSwitch}
+	}
+	for _, consume := range []int{0, 1, 100, len(evs)} {
+		pc := NewPrefetchCursor(&SliceCursor{Events: evs})
+		for i := 0; i < consume; i++ {
+			ev, ok, err := pc.Next()
+			if err != nil || !ok {
+				t.Fatalf("consume %d: Next[%d] = %v %v %v", consume, i, ev, ok, err)
+			}
+			if ev.Seq != uint64(i) {
+				t.Fatalf("consume %d: out of order at %d: %d", consume, i, ev.Seq)
+			}
+		}
+		pc.Close()
+		pc.Close() // idempotent
+	}
+}
+
+// TestPrefetchCursorDrainsFully checks an exhausted cursor keeps
+// reporting a clean end, and that the full stream round-trips in order.
+func TestPrefetchCursorDrainsFully(t *testing.T) {
+	evs := make([]Event, 1000)
+	for i := range evs {
+		evs[i] = Event{Time: sim.Time(i / 3), Seq: uint64(i), Kind: KindSchedSwitch}
+	}
+	pc := NewPrefetchCursor(&SliceCursor{Events: evs})
+	defer pc.Close()
+	var got []Event
+	for {
+		ev, ok, err := pc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, ev)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("prefetch round-trip differs: %d vs %d events", len(got), len(evs))
+	}
+	if _, ok, err := pc.Next(); ok || err != nil {
+		t.Fatalf("Next after end = %v %v", ok, err)
+	}
+}

@@ -1,0 +1,146 @@
+package trace
+
+import "sync"
+
+// PrefetchCursor wraps a Cursor with a background decode goroutine: the
+// inner cursor is drained into bounded batches on a channel, so record
+// decode overlaps with whatever consumes the stream (typically the k-way
+// merge). Delivery is order- and error-preserving — events arrive exactly
+// as the inner cursor would have served them, and an inner error
+// surfaces after every event decoded before it, matching the sequential
+// cursor's salvage semantics — so wrapping the segment cursors of a
+// session merge is invisible to the sink except in wall-clock time.
+//
+// The wrapper owns the inner cursor until Close returns: Close cancels
+// the goroutine and waits for it to exit, after which the caller may
+// release the inner cursor's resources (e.g. close the segment file).
+// Next and Close must not be called concurrently; like every Cursor,
+// PrefetchCursor has a single consumer.
+type PrefetchCursor struct {
+	batches chan prefetchBatch
+	recycle chan []Event
+	cancel  chan struct{}
+	done    chan struct{}
+
+	cur  prefetchBatch
+	i    int
+	err  error
+	fin  bool
+	once sync.Once
+}
+
+type prefetchBatch struct {
+	evs  []Event
+	err  error // surfaced after evs are served
+	last bool  // stream ends after this batch
+}
+
+const (
+	prefetchBatchLen = 64 // events per batch: amortizes channel ops without hurting latency
+	prefetchDepth    = 4  // batches in flight: bounds lookahead memory per segment
+)
+
+// NewPrefetchCursor starts a decode goroutine over inner and returns the
+// wrapping cursor.
+func NewPrefetchCursor(inner Cursor) *PrefetchCursor {
+	p := &PrefetchCursor{
+		batches: make(chan prefetchBatch, prefetchDepth),
+		recycle: make(chan []Event, prefetchDepth+2),
+		cancel:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go p.run(inner)
+	return p
+}
+
+func (p *PrefetchCursor) run(inner Cursor) {
+	defer close(p.done)
+	deliver := func(b prefetchBatch) bool {
+		select {
+		case p.batches <- b:
+			return true
+		case <-p.cancel:
+			return false
+		}
+	}
+	buf := p.takeBuf()
+	for {
+		ev, ok, err := inner.Next()
+		if err != nil {
+			deliver(prefetchBatch{evs: buf, err: err, last: true})
+			return
+		}
+		if !ok {
+			deliver(prefetchBatch{evs: buf, last: true})
+			return
+		}
+		buf = append(buf, ev)
+		if len(buf) >= prefetchBatchLen {
+			if !deliver(prefetchBatch{evs: buf}) {
+				return
+			}
+			buf = p.takeBuf()
+		}
+	}
+}
+
+// takeBuf reuses a consumed batch buffer when one is available, so a
+// steady-state stream allocates nothing per batch.
+func (p *PrefetchCursor) takeBuf() []Event {
+	select {
+	case b := <-p.recycle:
+		return b[:0]
+	default:
+		return make([]Event, 0, prefetchBatchLen)
+	}
+}
+
+// Next implements Cursor.
+func (p *PrefetchCursor) Next() (Event, bool, error) {
+	if p.err != nil {
+		return Event{}, false, p.err
+	}
+	if p.fin {
+		return Event{}, false, nil
+	}
+	for {
+		if p.i < len(p.cur.evs) {
+			ev := p.cur.evs[p.i]
+			p.i++
+			return ev, true, nil
+		}
+		if p.cur.last {
+			p.fin = true
+			p.err = p.cur.err
+			return Event{}, false, p.err
+		}
+		if p.cur.evs != nil {
+			select {
+			case p.recycle <- p.cur.evs:
+			default:
+			}
+		}
+		select {
+		case p.cur = <-p.batches:
+		case <-p.done:
+			// The goroutine exited; drain any batch it delivered before the
+			// close raced this select. After done no sends can occur, so an
+			// empty channel here means the stream was cancelled by Close.
+			select {
+			case p.cur = <-p.batches:
+			default:
+				p.fin = true
+				return Event{}, false, nil
+			}
+		}
+		p.i = 0
+	}
+}
+
+// Close cancels the decode goroutine and waits for it to exit. After
+// Close returns the inner cursor is no longer referenced, so the caller
+// may close its underlying resources. Idempotent.
+func (p *PrefetchCursor) Close() {
+	p.once.Do(func() { close(p.cancel) })
+	<-p.done
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -34,6 +35,23 @@ type Store struct {
 	// amortize over more records).
 	BlockRecords int
 
+	// Parallelism bounds the decode workers the parallel read paths use:
+	// StreamSession wraps each segment cursor in a prefetching decoder and
+	// QuerySession decodes selected v2 blocks across a worker pool. 0
+	// selects GOMAXPROCS; 1 selects the sequential paths. Output is
+	// byte-identical at every setting — merge order is (Time, Seq) and
+	// blocks decode in index order, so parallelism is invisible except in
+	// wall-clock time.
+	Parallelism int
+
+	// AsyncEncode moves v2 block encoding and writing onto a background
+	// goroutine per SegmentWriter (double-buffered: one block fills while
+	// the previous one compresses and writes), so delta/varint encode
+	// leaves the drain thread. Segment bytes are identical to the
+	// synchronous path; errors still surface through the writer's sticky
+	// error, at the latest at Close, which drains the encoder.
+	AsyncEncode bool
+
 	// WrapWriter, when set, wraps the file every WriteSegment opens; the
 	// segment writer's bytes flow through the returned writer (the file
 	// itself is still closed by Close). WrapReader does the same for every
@@ -56,6 +74,19 @@ func NewStore(dir string) (*Store, error) {
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
 
+// ResolveParallelism reports the decode-worker count the parallel read
+// paths will use: Parallelism, with 0 resolved to GOMAXPROCS.
+func (s *Store) ResolveParallelism() int {
+	p := s.Parallelism
+	if p == 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
 func (s *Store) segPath(session string, segment int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("%s-%04d.rtrc", session, segment))
 }
@@ -77,6 +108,9 @@ func (s *Store) WriteSegment(session string, segment int) (*SegmentWriter, error
 	sw := NewSegmentWriterFormat(w, s.Format, s.BlockRecords)
 	sw.c = f
 	sw.path = path
+	if s.AsyncEncode {
+		sw.EnableAsync()
+	}
 	return sw, nil
 }
 
@@ -266,19 +300,40 @@ func (s *Store) SessionCursors(session string) ([]*FileCursor, error) {
 // ties across segments resolve to the earlier segment, exactly as
 // LoadSession's historical Merge over materialized segments resolved
 // them to the earlier input trace.
+//
+// With Parallelism resolved above 1 (the default: GOMAXPROCS) and more
+// than one segment, each segment cursor runs behind a prefetching decode
+// goroutine (PrefetchCursor), so segment decode proceeds on all segments
+// concurrently while the merge consumes heads. The merge itself is
+// unchanged and ties still resolve to the earlier segment, so the output
+// stream is byte-identical to the sequential path.
 func (s *Store) StreamSession(session string, sink Sink) error {
 	curs, err := s.SessionCursors(session)
 	if err != nil {
 		return err
 	}
+	var prefetch []*PrefetchCursor
 	defer func() {
+		// Prefetch goroutines reference the file cursors; stop them before
+		// closing the files underneath.
+		for _, pc := range prefetch {
+			pc.Close()
+		}
 		for _, c := range curs {
 			c.Close()
 		}
 	}()
 	cursors := make([]Cursor, len(curs))
-	for i, c := range curs {
-		cursors[i] = c
+	if s.ResolveParallelism() > 1 && len(curs) > 1 {
+		prefetch = make([]*PrefetchCursor, len(curs))
+		for i, c := range curs {
+			prefetch[i] = NewPrefetchCursor(c)
+			cursors[i] = prefetch[i]
+		}
+	} else {
+		for i, c := range curs {
+			cursors[i] = c
+		}
 	}
 	return NewMergeStream(cursors...).Run(sink)
 }

@@ -329,6 +329,18 @@ func (c *recordCursor) Next() (trace.Event, bool, error) {
 // every event of the segment, and on return they are released to their
 // rings for the next emission burst to reuse.
 func (b *Bundle) StreamTo(sink trace.Sink) (err error) {
+	return b.StreamDueTo(sink, nil)
+}
+
+// StreamDueTo is StreamTo restricted to the rings due reports true for
+// (nil means all): rings left undrained keep accumulating, so a drain
+// scheduler with per-ring deadlines can skip cold rings entirely
+// instead of paying the cursor setup for every ring on every wakeup.
+// The merged output is (Time, Seq)-sorted within this drain, but a ring
+// drained later may hold events older than ones already delivered — the
+// segment store's read-time merge absorbs that; sinks that need one
+// globally ordered stream must drain all rings together (StreamTo).
+func (b *Bundle) StreamDueTo(sink trace.Sink, due func(tracer, cpu int) bool) (err error) {
 	pbs := b.perfBuffers()
 	nrings := 0
 	for _, pb := range pbs {
@@ -343,8 +355,11 @@ func (b *Bundle) StreamTo(sink trace.Sink) (err error) {
 		refs = make([]trace.Cursor, 0, nrings)
 	}
 	n := 0
-	for _, pb := range pbs {
+	for bi, pb := range pbs {
 		for cpu := 0; cpu < pb.NumRings(); cpu++ {
+			if due != nil && !due(bi, cpu) {
+				continue
+			}
 			rc := &curs[n]
 			n++
 			pb.DrainCursorInto(&rc.recs, cpu)

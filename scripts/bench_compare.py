@@ -31,6 +31,12 @@ GATED = [
     "BenchmarkStoreStreamSession",
     "BenchmarkStoreQuerySession",
     "BenchmarkSegmentWriteV2",
+    "BenchmarkStoreStreamSessionParallel",
+    "BenchmarkStoreQuerySessionParallel",
+    "BenchmarkSegmentWriteV2Async",
+    "BenchmarkSnapshotIncremental/preload=2s",
+    "BenchmarkSnapshotIncremental/preload=8s",
+    "BenchmarkSnapshotIncremental/preload=16s",
 ]
 
 # Alloc regressions on the zero-alloc paths are failures at any size:
