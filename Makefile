@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-smoke bench-compare stream-bench fmt-compat fuzz-smoke chaos chaos-race baseline
+.PHONY: all build test vet race check bench bench-smoke bench-compare stream-bench fmt-compat fuzz-smoke chaos chaos-race baseline metrics-smoke
 
 all: check
 
@@ -18,7 +18,15 @@ vet:
 race:
 	$(GO) test -race ./internal/...
 
-check: vet build test race
+check: vet build test race metrics-smoke
+
+# /metrics endpoint smoke: a live short session served over real HTTP and
+# scraped concurrently with the drive loop, asserting the Prometheus
+# exposition parses and carries the per-topic latency histograms and ring
+# accounting. (A test rather than a curl script: the simulator outpaces
+# the wall clock, so the binary exits before a shell could scrape it.)
+metrics-smoke:
+	$(GO) test -run TestMetricsEndpointSmoke -count=1 ./internal/harness
 
 # Full benchmark suite with allocation reporting.
 bench:

@@ -16,6 +16,7 @@ import (
 	"github.com/tracesynth/rostracer/internal/core"
 	"github.com/tracesynth/rostracer/internal/ebpf"
 	"github.com/tracesynth/rostracer/internal/harness"
+	"github.com/tracesynth/rostracer/internal/metrics"
 	"github.com/tracesynth/rostracer/internal/rclcpp"
 	"github.com/tracesynth/rostracer/internal/sim"
 	"github.com/tracesynth/rostracer/internal/trace"
@@ -926,6 +927,46 @@ func BenchmarkSegmentWriteV2Async(b *testing.B) {
 	}
 	b.ReportMetric(float64(tr.Len()), "events/op")
 	b.ReportMetric(float64(bytes)/float64(tr.Len()), "B/event")
+}
+
+// BenchmarkMetricsSinkObserve measures the metrics sink's per-event fold
+// — kind counter, publish-latency histogram, callback exec-time pairing —
+// over a representative event mix. The sink rides every drain when
+// -metrics-addr is set, so this path must stay allocation-free at steady
+// state: topic/node histogram cells and PID bindings are cached on first
+// sight, and the warmup observes the whole cycle before the timer starts
+// so the measured loop only exercises the cached path.
+func BenchmarkMetricsSinkObserve(b *testing.B) {
+	reg := metrics.NewRegistry()
+	s := metrics.NewSink(reg)
+	topics := []string{"/image_raw", "/points_raw", "/tf", "/odom"}
+	nodes := []string{"camera", "lidar", "fusion", "planner"}
+	var events []trace.Event
+	var tm sim.Time
+	for i, n := range nodes {
+		pid := uint32(100 + i)
+		events = append(events, trace.Event{Time: tm, Kind: trace.KindCreateNode, PID: pid, Node: n})
+		tm += 1000
+		events = append(events,
+			trace.Event{Time: tm, Kind: trace.KindSubCBStart, PID: pid},
+			trace.Event{Time: tm + 100, Kind: trace.KindTakeInt, PID: pid, Topic: topics[i], SrcTS: int64(tm) - 50_000},
+			trace.Event{Time: tm + 30_000, Kind: trace.KindSubCBEnd, PID: pid},
+			trace.Event{Time: tm + 31_000, Kind: trace.KindDDSWrite, PID: pid, Topic: topics[i], SrcTS: int64(tm) + 31_000},
+			trace.Event{Time: tm + 32_000, Kind: trace.KindSchedSwitch, PrevPID: pid, NextPID: 0},
+		)
+		tm += 40_000
+	}
+	for _, e := range events {
+		s.Observe(e) // warm the topic/node/PID caches
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(events[i%len(events)])
+	}
+	if s.Events() == 0 {
+		b.Fatal("sink observed nothing")
+	}
 }
 
 // BenchmarkSnapshotIncremental measures one live Snapshot after the

@@ -25,8 +25,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -34,6 +37,7 @@ import (
 	"github.com/tracesynth/rostracer/internal/core"
 	"github.com/tracesynth/rostracer/internal/ebpf"
 	"github.com/tracesynth/rostracer/internal/harness"
+	"github.com/tracesynth/rostracer/internal/metrics"
 	"github.com/tracesynth/rostracer/internal/rclcpp"
 	"github.com/tracesynth/rostracer/internal/service"
 	"github.com/tracesynth/rostracer/internal/sim"
@@ -63,6 +67,18 @@ func main() {
 	asyncEncode := flag.Bool("async-encode", false, "encode v2 segment blocks on a background goroutine, off the drain loop")
 	hotThreshold := flag.Uint64("hot-threshold", ebpf.DefaultHotThreshold(), "tier-0 run count at which a probe program is re-decoded into its profile-guided form (0 disables automatic promotion)")
 	profilePath := flag.String("profile", "", "warmup profile file: loaded at start so programs dispatch at tier >= 1 from the first fire, saved on shutdown (empty = no persistence)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text-format self-metrics at this address (e.g. :9090); empty disables the endpoint")
+	alertRules := metrics.DefaultAlertRules()
+	alertsGiven := false
+	flag.Func("alert", `alert rule "name: metric > value" (repeatable; metric{label} selects one cell, delta(metric) compares per-segment growth; added to the built-in rules)`, func(s string) error {
+		r, err := metrics.ParseAlertRule(s)
+		if err != nil {
+			return err
+		}
+		alertRules = append(alertRules, r)
+		alertsGiven = true
+		return nil
+	})
 	flag.Parse()
 
 	build, err := buildFunc(*app)
@@ -84,6 +100,30 @@ func main() {
 	store.Parallelism = *parallelism
 	store.AsyncEncode = *asyncEncode
 
+	// Self-observability: each run folds its stream into a fresh metrics
+	// registry (counters reset per session, keeping every exposed counter
+	// monotone within the scrape lifetime of its registry) and publishes
+	// it to the HTTP endpoint atomically, so a scrape overlapping a run
+	// boundary sees either the old registry or the new one, never a mix.
+	metricsOn := *metricsAddr != "" || alertsGiven
+	var liveReg atomic.Pointer[metrics.Registry]
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("-metrics-addr: %v", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+			if reg := liveReg.Load(); reg != nil {
+				metrics.Handler(reg).ServeHTTP(w, req)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		})
+		go http.Serve(ln, mux)
+		log.Printf("serving /metrics on http://%s/metrics", ln.Addr())
+	}
+
 	// Graceful shutdown: the drain loop checks this between segments and,
 	// when signalled, flushes the open segment and final snapshot before
 	// exiting instead of leaving a partial session behind.
@@ -103,6 +143,10 @@ func main() {
 			hotThreshold:  *hotThreshold,
 			profilePath:   *profilePath,
 			interrupt:     sigCh,
+		}
+		if metricsOn {
+			cfg.alertRules = alertRules
+			cfg.publishReg = liveReg.Store
 		}
 		degraded, interrupted, err := traceOneRun(store, session, build, cfg)
 		if err != nil {
@@ -141,6 +185,12 @@ type runConfig struct {
 	hotThreshold  uint64
 	profilePath   string
 	interrupt     <-chan os.Signal
+
+	// Self-observability (nil publishReg with nil alertRules = disabled):
+	// rules evaluated once per segment, and a hook publishing the run's
+	// registry to the /metrics endpoint.
+	alertRules []metrics.AlertRule
+	publishReg func(*metrics.Registry)
 }
 
 func buildFunc(app string) (func(*rclcpp.World), error) {
@@ -212,15 +262,17 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), 
 		if err != nil {
 			return false, false, err
 		}
-		defer f.Close()
 		// A run that fails outright must not leave a truncated .jsonl
-		// behind looking like a complete trace.
+		// behind looking like a complete trace. (The fan-out's deferred
+		// Close below runs first, so the file is closed before removal.)
 		defer func() {
 			if retErr != nil {
 				os.Remove(jsonlPath)
 			}
 		}()
-		jsonlSink = trace.NewJSONLSink(f)
+		// The sink owns the file: the fan-out's Close (shutdown or
+		// detach) flushes and closes it.
+		jsonlSink = trace.NewJSONLSinkCloser(f)
 	}
 	var sched *tracers.DrainScheduler
 	if cfg.adaptive {
@@ -247,6 +299,23 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), 
 	writer := service.NewSessionWriter(store, session, service.Policy{
 		SpillCapacity: cfg.spillCapacity,
 	})
+	// Self-observability: a per-run registry fed by a metrics sink on the
+	// fan-out (event-kind counters, per-topic publish latency, per-node
+	// exec time) plus per-segment snapshots of the pipeline's own
+	// accounting, with threshold alert rules evaluated each segment.
+	var reg *metrics.Registry
+	var msink *metrics.Sink
+	var pm *metrics.PipelineMetrics
+	var alerts *metrics.Alerts
+	if cfg.alertRules != nil || cfg.publishReg != nil {
+		reg = metrics.NewRegistry()
+		msink = metrics.NewSink(reg)
+		pm = metrics.NewPipelineMetrics(reg)
+		alerts = metrics.NewAlerts(reg, cfg.alertRules)
+		if cfg.publishReg != nil {
+			cfg.publishReg(reg)
+		}
+	}
 	sink := trace.NewIsolatingMultiSink()
 	sink.Add("store", writer)
 	if jsonlSink != nil {
@@ -255,6 +324,12 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), 
 	if snapSvc != nil {
 		sink.Add("snapshot", snapSvc)
 	}
+	if msink != nil {
+		sink.Add("metrics", msink)
+	}
+	// Idempotent: covers the abort paths; the shutdown path closes
+	// explicitly before reporting detachments.
+	defer sink.Close()
 	totalEvents := 0
 	segIdx := 0
 	var prevLost uint64
@@ -308,6 +383,25 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), 
 			segIdx, sim.Duration(elapsed), res.Persisted, pendCPU, pendHWM,
 			lostDelta, b.Lost(), tc[0], tc[1], tc[2], nextStep, status)
 		segIdx++
+		if pm != nil {
+			pm.UpdateBundle(b)
+			if sched != nil {
+				pm.UpdateScheduler(sched)
+			} else {
+				pm.UpdateDrain(int64(nextStep), segIdx, 0)
+			}
+			pm.UpdateWriter(writer)
+			pm.UpdateIntern()
+			pm.UpdateSinks(sink)
+			if snapSvc != nil {
+				pm.UpdateSynthesis(snapSvc)
+			}
+			for _, st := range alerts.Evaluate() {
+				if st.FiredAt == alerts.Rounds() {
+					log.Printf("  ALERT %s fired: %s (value %g)", st.Rule.Name, st.Rule, st.Last)
+				}
+			}
+		}
 		if snapSvc != nil && elapsed >= nextSnapAt {
 			snap := snapSvc.Snapshot()
 			if err := writeSnapshot(cfg.outDir, session, snap); err != nil {
@@ -334,14 +428,13 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), 
 		log.Printf("  final snapshot %d: %d vertices from %d events",
 			snap.Seq, len(snap.DAG.Vertices), snap.Events)
 	}
-	if jsonlSink != nil {
-		if err := jsonlSink.Flush(); err != nil {
-			// The sink may already have detached; either way the .jsonl
-			// is short. Report it and fail the session rather than
-			// pretending the dump is complete.
-			log.Printf("  jsonl: %v", err)
-			degraded = true
-		}
+	// Closing the fan-out flush-closes every still-attached auxiliary
+	// sink (the JSONL file included); a failure here means some sink's
+	// output is short, so the session fails loudly rather than
+	// pretending the dump is complete.
+	if err := sink.Close(); err != nil {
+		log.Printf("  sink close: %v", err)
+		degraded = true
 	}
 	stats := writer.Stats()
 	if stats.Degraded() {
@@ -351,7 +444,11 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), 
 	}
 	for _, d := range sink.Detached() {
 		degraded = true
-		log.Printf("  WARNING: sink %q detached after %d events: %v", d.Name, d.Events, d.Err)
+		suffix := ""
+		if d.CloseErr != nil {
+			suffix = fmt.Sprintf(" (flush-close: %v)", d.CloseErr)
+		}
+		log.Printf("  WARNING: sink %q detached after %d events: %v%s", d.Name, d.Events, d.Err, suffix)
 	}
 	encMode := "inline"
 	if store.AsyncEncode {
@@ -374,6 +471,24 @@ func traceOneRun(store *trace.Store, session string, build func(*rclcpp.World), 
 	}
 	if lost := b.Lost(); lost > 0 {
 		log.Printf("  WARNING: %d records lost to ring overruns", lost)
+	}
+	if pm != nil {
+		// Final snapshot (the close-time ledgers included) and one last
+		// evaluation round, then the session summary: any rule that fired
+		// at any point degrades the session into a nonzero exit.
+		pm.UpdateBundle(b)
+		pm.UpdateWriter(writer)
+		pm.UpdateIntern()
+		pm.UpdateSinks(sink)
+		if snapSvc != nil {
+			pm.UpdateSynthesis(snapSvc)
+		}
+		alerts.Evaluate()
+		for _, st := range alerts.Fired() {
+			degraded = true
+			log.Printf("  ALERT %s: %s — fired in %d of %d evaluations (first at segment %d), last value %g",
+				st.Rule.Name, st.Rule, st.Count, alerts.Rounds(), st.FiredAt, st.Last)
+		}
 	}
 	if cfg.profilePath != "" {
 		// Save on shutdown — interrupted sessions too: the warmup profile

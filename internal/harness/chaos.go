@@ -11,6 +11,7 @@ import (
 
 	"github.com/tracesynth/rostracer/internal/core"
 	"github.com/tracesynth/rostracer/internal/faultinject"
+	"github.com/tracesynth/rostracer/internal/metrics"
 	"github.com/tracesynth/rostracer/internal/rclcpp"
 	"github.com/tracesynth/rostracer/internal/service"
 	"github.com/tracesynth/rostracer/internal/sim"
@@ -34,6 +35,26 @@ const chaosSpill = 512
 // that every damaged segment spans many blocks, so Phase B's tears land
 // inside the data region and actually lose records.
 const chaosBlockRecords = 64
+
+// chaosDetachWindow is the drain window (1-based) at whose start the
+// auxiliary JSONL sink's writer is yanked, so the sink detaches during
+// that window's drain — the deterministic pin for the sink-detached
+// alert: it must not fire in windows 1..chaosDetachWindow-1 and must
+// first fire exactly at chaosDetachWindow.
+const chaosDetachWindow = 4
+
+// yankableWriter discards writes until yanked, then fails them all —
+// the auxiliary sink's scripted disk.
+type yankableWriter struct {
+	yanked bool
+}
+
+func (y *yankableWriter) Write(p []byte) (int, error) {
+	if y.yanked {
+		return 0, fmt.Errorf("chaos: aux sink disk yanked")
+	}
+	return len(p), nil
+}
 
 // ChaosExperiment (E13) runs the full drain -> store -> synthesis
 // pipeline under a seeded fault plan on all three loss layers at once —
@@ -166,6 +187,13 @@ func chaosFormatRun(cfg Config, format trace.Format) (chaosRun, error) {
 	BuildBoth(1)(w)
 	b.StopInit()
 
+	var sb strings.Builder
+	run := chaosRun{ok: true}
+	flunk := func(format string, args ...interface{}) {
+		run.ok = false
+		run.notes = append(run.notes, fmt.Sprintf(format, args...))
+	}
+
 	const session = "chaos"
 	sleeps := 0
 	writer := service.NewSessionWriter(store, session, service.Policy{
@@ -173,29 +201,95 @@ func chaosFormatRun(cfg Config, format trace.Format) (chaosRun, error) {
 		SpillCapacity: chaosSpill,
 		Sleep:         func(time.Duration) { sleeps++ },
 	})
+
+	// Self-observability under fault load: the drain fans out to the
+	// store, a metrics sink, and an auxiliary JSONL sink whose writer is
+	// yanked at a scripted window. After every window the registry is
+	// scraped through the same exposition path the HTTP endpoint serves,
+	// and the scrape must stay parseable with every counter monotone —
+	// fault windows included.
+	reg := metrics.NewRegistry()
+	msink := metrics.NewSink(reg)
+	pm := metrics.NewPipelineMetrics(reg)
+	alerts := metrics.NewAlerts(reg, metrics.DefaultAlertRules())
+	aux := &yankableWriter{}
+	auxSink := trace.NewJSONLSink(aux)
+	isink := trace.NewIsolatingMultiSink()
+	isink.Add("store", writer)
+	isink.Add("aux-jsonl", auxSink)
+	isink.Add("metrics", msink)
+
+	var prevScrape *metrics.ParsedExposition
+	scrapeCheck := func(window string) {
+		parsed, err := metrics.ParseExposition(reg.Exposition())
+		if err != nil {
+			flunk("%s: /metrics exposition unparseable: %v", window, err)
+			return
+		}
+		if viol := parsed.MonotoneViolations(prevScrape); len(viol) > 0 {
+			flunk("%s: counters decreased: %s", window, strings.Join(viol, "; "))
+		}
+		prevScrape = parsed
+	}
+
 	var elapsed sim.Duration
 	for k := 1; k <= chaosDrains; k++ {
 		target := cfg.Duration * sim.Duration(k) / chaosDrains
 		w.Run(target - elapsed)
 		elapsed = target
+		if k == chaosDetachWindow {
+			aux.yanked = true
+		}
 		writer.BeginSegment()
-		if err := b.StreamTo(writer); err != nil {
+		if err := b.StreamTo(isink); err != nil {
 			return chaosRun{}, err
 		}
 		writer.EndSegment()
+
+		pm.UpdateBundle(b)
+		pm.UpdateDrain(int64(cfg.Duration)/chaosDrains, k, 0)
+		pm.UpdateWriter(writer)
+		pm.UpdateIntern()
+		pm.UpdateSinks(isink)
+		alerts.Evaluate()
+		scrapeCheck(fmt.Sprintf("window %d", k))
 	}
 	writer.Close()
+	if err := isink.Close(); err != nil {
+		flunk("fan-out close: %v", err)
+	}
+	pm.UpdateWriter(writer)
+	pm.UpdateSinks(isink)
+	scrapeCheck("post-close")
 
 	stats := writer.Stats()
+	run.persisted = stats.Persisted
 	emitted := plan.Ring.Ops()
 	lost := b.Lost()
 	ts := w.Domain().FaultStats()
 
-	var sb strings.Builder
-	run := chaosRun{ok: true, persisted: stats.Persisted}
-	flunk := func(format string, args ...interface{}) {
-		run.ok = false
-		run.notes = append(run.notes, fmt.Sprintf(format, args...))
+	// The aux sink must have detached during (exactly) the yank window,
+	// and the sink-detached alert must pin that: silent before, first
+	// firing at chaosDetachWindow.
+	if det := isink.Detached(); len(det) != 1 || det[0].Name != "aux-jsonl" {
+		flunk("detachments = %+v, want exactly the yanked aux-jsonl sink", det)
+	}
+	var detachRule *metrics.RuleState
+	for _, st := range alerts.States() {
+		if st.Rule.Name == "sink-detached" {
+			detachRule = st
+		}
+	}
+	if detachRule == nil {
+		flunk("sink-detached rule missing from the default rule set")
+	} else if !detachRule.Fired || detachRule.FiredAt != chaosDetachWindow {
+		flunk("sink-detached alert fired at evaluation %d, want exactly window %d (state %+v)",
+			detachRule.FiredAt, chaosDetachWindow, detachRule)
+	}
+	for _, st := range alerts.States() {
+		if st.Rule.Name == "store-dropped" && !st.Fired {
+			flunk("store-dropped alert never fired despite %d dropped events", stats.Dropped)
+		}
 	}
 
 	fmt.Fprintf(&sb, "workload: SYN + AVP, %v, %d CPUs; %d drain windows, ring capacity %d, spill %d\n",
@@ -208,6 +302,10 @@ func chaosFormatRun(cfg Config, format trace.Format) (chaosRun, error) {
 		plan.Disk.Opens(), chaosDrains, stats.Rotations, stats.Retries, sleeps, stats.Down)
 	fmt.Fprintf(&sb, "ledger:           emitted %d == persisted %d + ring-lost %d + spill-dropped %d\n",
 		emitted, stats.Persisted, lost, stats.Dropped)
+	if detachRule != nil {
+		fmt.Fprintf(&sb, "metrics:          %d scrapes parseable and monotone under faults; sink-detached alert first fired at window %d (aux writer yanked at %d)\n",
+			chaosDrains+1, detachRule.FiredAt, chaosDetachWindow)
+	}
 
 	// Exact accounting: every emission is persisted, counted lost on a
 	// ring, or counted dropped by the writer — nothing vanishes.

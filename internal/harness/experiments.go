@@ -8,6 +8,7 @@ import (
 	"github.com/tracesynth/rostracer/internal/analysis"
 	"github.com/tracesynth/rostracer/internal/apps"
 	"github.com/tracesynth/rostracer/internal/core"
+	"github.com/tracesynth/rostracer/internal/metrics"
 	"github.com/tracesynth/rostracer/internal/rclcpp"
 	"github.com/tracesynth/rostracer/internal/sim"
 	"github.com/tracesynth/rostracer/internal/trace"
@@ -335,7 +336,15 @@ func OverheadsExperiment(cfg Config) (Result, error) {
 	// only the delta over this experiment is attributable to it. A capped
 	// delta means name decoding fell back to per-record allocation — the
 	// first place to look when the drain's allocation profile regresses.
-	hits0, misses0, capped0 := trace.InternStats()
+	// The bracket runs through the exported gauges and the default
+	// intern-capped-growth delta rule, so the experiment exercises the
+	// same alert an operator would see on /metrics.
+	hits0, misses0, _ := trace.InternStats()
+	ireg := metrics.NewRegistry()
+	ipm := metrics.NewPipelineMetrics(ireg)
+	ialerts := metrics.NewAlerts(ireg, metrics.DefaultAlertRules())
+	ipm.UpdateIntern()
+	ialerts.Evaluate() // baseline round for the delta rules
 
 	// The filtered and unfiltered sessions are independent worlds with the
 	// same seed; run them as a two-run series so they fan out too. Only
@@ -402,14 +411,22 @@ func OverheadsExperiment(cfg Config) (Result, error) {
 		}
 	}
 	// Interning must have absorbed the name decoding: any capped lookup
-	// re-paid a per-record allocation on the drain path. Healthy runs add
-	// no note (the counters land in Notes, not Text, because they are
-	// process-global and would break figure-text byte equivalence).
-	if hits1, misses1, capped1 := trace.InternStats(); capped1 != capped0 {
+	// re-paid a per-record allocation on the drain path. The check is the
+	// default intern-capped-growth alert evaluated over the exported
+	// gauges. Healthy runs add no note (the counters land in Notes, not
+	// Text, because they are process-global and would break figure-text
+	// byte equivalence).
+	ipm.UpdateIntern()
+	ialerts.Evaluate()
+	for _, st := range ialerts.Fired() {
+		if st.Rule.Name != "intern-capped-growth" {
+			continue // other defaults have no sources wired here
+		}
+		hits1, misses1, _ := trace.InternStats()
 		ok = false
 		notes = append(notes, fmt.Sprintf(
-			"intern table capped: %d lookups fell back to allocation (hits +%d, misses +%d) — drain B/op is regressing here",
-			capped1-capped0, hits1-hits0, misses1-misses0))
+			"ALERT %s: %.0f lookups fell back to allocation (hits +%d, misses +%d) — drain B/op is regressing here",
+			st.Rule.Name, st.Last, hits1-hits0, misses1-misses0))
 	}
 	return Result{ID: "overheads", Title: "Tracing overheads (Sec. VI)", Text: b.String(), OK: ok, Notes: notes}, nil
 }

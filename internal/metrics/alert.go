@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Threshold alert rules evaluated online against the registry. A rule
+// watches one metric family (optionally a single label cell; the empty
+// label on a labeled family sums every cell), compares it — or, for
+// Delta rules, its growth since the previous evaluation — against a
+// threshold, and latches sticky Fired state with the evaluation round
+// it first fired in. rostracer evaluates rules once per drain segment
+// and again at shutdown, surfaces fired rules in the session summary,
+// and exits nonzero; the chaos harness pins firing windows exactly.
+
+// AlertRule is one threshold rule.
+type AlertRule struct {
+	Name   string  // rule name, reported when it fires
+	Metric string  // metric family name
+	Label  string  // "" = unlabeled cell, or sum over all cells of a labeled family
+	Delta  bool    // compare growth since the previous Evaluate instead of the level
+	Op     string  // ">" or ">="
+	Value  float64 // threshold
+}
+
+// String renders the rule in the syntax ParseAlertRule accepts.
+func (r AlertRule) String() string {
+	m := r.Metric
+	if r.Label != "" {
+		m += "{" + r.Label + "}"
+	}
+	if r.Delta {
+		m = "delta(" + m + ")"
+	}
+	return fmt.Sprintf("%s: %s %s %s", r.Name, m, r.Op, strconv.FormatFloat(r.Value, 'g', -1, 64))
+}
+
+// ParseAlertRule parses `name: metric > value` where metric may be
+// `family`, `family{label}`, or `delta(...)` around either. Ops are
+// `>` and `>=`.
+func ParseAlertRule(s string) (AlertRule, error) {
+	var r AlertRule
+	name, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return r, fmt.Errorf("metrics: alert rule %q: want \"name: metric > value\"", s)
+	}
+	r.Name = strings.TrimSpace(name)
+	if r.Name == "" {
+		return r, fmt.Errorf("metrics: alert rule %q: empty name", s)
+	}
+	rest = strings.TrimSpace(rest)
+	op := ">"
+	i := strings.Index(rest, ">")
+	if i < 0 {
+		return r, fmt.Errorf("metrics: alert rule %q: no > or >= comparison", s)
+	}
+	if i+1 < len(rest) && rest[i+1] == '=' {
+		op = ">="
+	}
+	r.Op = op
+	metric := strings.TrimSpace(rest[:i])
+	valStr := strings.TrimSpace(rest[i+len(op):])
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return r, fmt.Errorf("metrics: alert rule %q: bad threshold %q: %v", s, valStr, err)
+	}
+	r.Value = v
+	if inner, ok := strings.CutPrefix(metric, "delta("); ok {
+		inner, ok = strings.CutSuffix(inner, ")")
+		if !ok {
+			return r, fmt.Errorf("metrics: alert rule %q: unterminated delta(", s)
+		}
+		r.Delta = true
+		metric = strings.TrimSpace(inner)
+	}
+	if j := strings.IndexByte(metric, '{'); j >= 0 {
+		if !strings.HasSuffix(metric, "}") {
+			return r, fmt.Errorf("metrics: alert rule %q: unterminated label in %q", s, metric)
+		}
+		r.Label = metric[j+1 : len(metric)-1]
+		metric = metric[:j]
+	}
+	if metric == "" {
+		return r, fmt.Errorf("metrics: alert rule %q: empty metric", s)
+	}
+	r.Metric = metric
+	return r, nil
+}
+
+// RuleState is the evaluation state of one rule.
+type RuleState struct {
+	Rule    AlertRule
+	Firing  bool    // condition held at the most recent Evaluate
+	Fired   bool    // condition has held at least once (sticky)
+	FiredAt int     // evaluation round (1-based) the rule first fired in
+	Count   int     // evaluations in which the condition held
+	Last    float64 // value (or delta) at the most recent Evaluate
+
+	prev    float64
+	hasPrev bool
+}
+
+// Alerts evaluates a rule set against a registry.
+type Alerts struct {
+	reg    *Registry
+	states []*RuleState
+	rounds int
+}
+
+// NewAlerts binds rules to a registry.
+func NewAlerts(reg *Registry, rules []AlertRule) *Alerts {
+	a := &Alerts{reg: reg}
+	for _, r := range rules {
+		a.states = append(a.states, &RuleState{Rule: r})
+	}
+	return a
+}
+
+// Evaluate runs one evaluation round and returns the rules firing in
+// it. A Delta rule's first sight of its metric only records the
+// baseline — growth is judged from the next round on, so a counter
+// that is already nonzero when alerting starts does not false-fire.
+// Metrics that don't exist yet simply don't fire.
+func (a *Alerts) Evaluate() []*RuleState {
+	a.rounds++
+	var firing []*RuleState
+	for _, st := range a.states {
+		v, ok := a.reg.Value(st.Rule.Metric, st.Rule.Label)
+		if !ok {
+			st.Firing = false
+			continue
+		}
+		x := v
+		if st.Rule.Delta {
+			if !st.hasPrev {
+				st.prev, st.hasPrev = v, true
+				st.Firing = false
+				continue
+			}
+			x = v - st.prev
+			st.prev = v
+		}
+		st.Last = x
+		st.Firing = x > st.Rule.Value || (st.Rule.Op == ">=" && x == st.Rule.Value)
+		if st.Firing {
+			st.Count++
+			if !st.Fired {
+				st.Fired = true
+				st.FiredAt = a.rounds
+			}
+			firing = append(firing, st)
+		}
+	}
+	return firing
+}
+
+// Fired returns every rule whose condition has held at least once, in
+// first-fired order.
+func (a *Alerts) Fired() []*RuleState {
+	var out []*RuleState
+	for _, st := range a.states {
+		if st.Fired {
+			out = append(out, st)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].FiredAt < out[j].FiredAt })
+	return out
+}
+
+// States returns all rule states in registration order.
+func (a *Alerts) States() []*RuleState { return a.states }
+
+// Rounds reports how many Evaluate calls have run.
+func (a *Alerts) Rounds() int { return a.rounds }
+
+// DefaultAlertRules is the built-in rule set: ring loss, intern-table
+// saturation growth (every capped lookup re-pays a per-record
+// allocation forever), sink detachment, and store-side event drops.
+func DefaultAlertRules() []AlertRule {
+	return []AlertRule{
+		{Name: "ring-lost", Metric: "rostracer_ring_lost_records_total", Delta: true, Op: ">", Value: 0},
+		{Name: "intern-capped-growth", Metric: "rostracer_intern_capped", Delta: true, Op: ">", Value: 0},
+		{Name: "sink-detached", Metric: "rostracer_sink_detached_total", Op: ">", Value: 0},
+		{Name: "store-dropped", Metric: "rostracer_store_dropped_events_total", Op: ">", Value: 0},
+	}
+}

@@ -166,6 +166,7 @@ type jsonEvent struct {
 type JSONLSink struct {
 	bw  *bufio.Writer
 	enc *json.Encoder
+	c   io.Closer // non-nil when the sink owns the underlying writer
 	err error
 }
 
@@ -174,6 +175,15 @@ type JSONLSink struct {
 func NewJSONLSink(w io.Writer) *JSONLSink {
 	bw := bufio.NewWriter(w)
 	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// NewJSONLSinkCloser is NewJSONLSink over a writer the sink owns: Close
+// closes wc after flushing, so a fan-out holding the sink can release
+// the file without knowing about it.
+func NewJSONLSinkCloser(wc io.WriteCloser) *JSONLSink {
+	s := NewJSONLSink(wc)
+	s.c = wc
+	return s
 }
 
 // Observe implements Sink.
@@ -200,6 +210,27 @@ func (s *JSONLSink) Flush() error {
 		return s.err
 	}
 	return s.bw.Flush()
+}
+
+// Close flushes buffered output — even after a sticky encoding error,
+// salvaging the events encoded before it — and closes the underlying
+// writer when the sink owns it (NewJSONLSinkCloser). Close is
+// idempotent; it reports the first error of the whole stream, then any
+// flush or close failure.
+func (s *JSONLSink) Close() error {
+	ferr := s.bw.Flush()
+	var cerr error
+	if s.c != nil {
+		cerr = s.c.Close()
+		s.c = nil
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
 }
 
 // WriteJSONL encodes t as one JSON object per line, a convenient form for

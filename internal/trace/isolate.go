@@ -1,5 +1,7 @@
 package trace
 
+import "io"
+
 // Per-sink fault isolation: MultiSink fans a stream out blindly, so one
 // sink with a sticky error (a JSONL file on a full disk, say) either
 // goes unnoticed or — if the caller polls it — kills the whole drain,
@@ -8,6 +10,12 @@ package trace
 // one: the stream keeps flowing to the healthy sinks, and the detachment
 // (with its cause and how many events the sink got) is reported at the
 // end instead of aborting the session.
+//
+// Detaching is also a lifecycle event: a buffered sink that failed mid-
+// stream still holds every event encoded before the failure, so the
+// fan-out flush-closes a sink at the moment it detaches rather than
+// silently dropping that output, and Close flush-closes whatever is
+// still attached when the session ends.
 
 // ErrSink is a Sink with a sticky first-error, the contract
 // SegmentWriter and JSONLSink already follow. Sinks that cannot fail
@@ -18,11 +26,19 @@ type ErrSink interface {
 	Err() error
 }
 
-// Detachment records one sink removed from an IsolatingMultiSink.
+// Detachment records one sink removed from an IsolatingMultiSink —
+// either mid-stream on a sticky error, or at Close when the sink's
+// flush-close failed.
 type Detachment struct {
-	Name   string
-	Events int // events delivered before the sink failed
+	Name string
+	// Events counts the events successfully delivered to the sink. The
+	// delivery that tripped a sticky error is not included: the sink
+	// never durably absorbed it.
+	Events int
 	Err    error
+	// CloseErr is the outcome of flush-closing the sink as it detached
+	// (nil for sinks with no Close or Flush, and for clean flush-closes).
+	CloseErr error
 }
 
 // isoSink is one attached sink with its detachment bookkeeping.
@@ -39,6 +55,8 @@ type isoSink struct {
 type IsolatingMultiSink struct {
 	sinks    []isoSink
 	detached []Detachment
+	closed   bool
+	closeErr error
 }
 
 // NewIsolatingMultiSink creates an empty fan-out; attach sinks with Add.
@@ -59,20 +77,76 @@ func (m *IsolatingMultiSink) Add(name string, s Sink) {
 	m.sinks = append(m.sinks, is)
 }
 
+// flushClose releases a sink's buffered output: Close when the sink
+// owns a resource, Flush otherwise, nothing for unbuffered sinks.
+// Note the service-layer session writer matches neither — its Close
+// returns a result struct, not an error — and is closed by its owner,
+// exactly as intended: the fan-out only closes what it can fully
+// release.
+func flushClose(s Sink) error {
+	if c, ok := s.(io.Closer); ok {
+		return c.Close()
+	}
+	if f, ok := s.(interface{ Flush() error }); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// detach removes sink i, flush-closing it so buffered output written
+// before the failure still reaches its destination.
+func (m *IsolatingMultiSink) detach(i int, events int, err error) {
+	s := m.sinks[i]
+	m.detached = append(m.detached, Detachment{
+		Name:     s.name,
+		Events:   events,
+		Err:      err,
+		CloseErr: flushClose(s.sink),
+	})
+	m.sinks = append(m.sinks[:i], m.sinks[i+1:]...)
+}
+
 // Observe implements Sink: deliver to every live sink, then detach the
 // ones whose sticky error tripped. The error poll is one interface call
 // reading a struct field — noise next to the delivery itself.
 func (m *IsolatingMultiSink) Observe(e Event) {
+	if m.closed {
+		return
+	}
 	for i := 0; i < len(m.sinks); i++ {
 		s := &m.sinks[i]
 		s.sink.Observe(e)
 		s.n++
 		if s.es != nil && s.es.Err() != nil {
-			m.detached = append(m.detached, Detachment{Name: s.name, Events: s.n, Err: s.es.Err()})
-			m.sinks = append(m.sinks[:i], m.sinks[i+1:]...)
+			// The delivery that tripped the sticky error did not land:
+			// only the n-1 before it were successfully delivered.
+			m.detach(i, s.n-1, s.es.Err())
 			i--
 		}
 	}
+}
+
+// Close flush-closes every still-attached sink and detaches the whole
+// fan-out. A sink whose flush-close fails is recorded as a Detachment
+// (with its full delivered count — the failure is in releasing the
+// sink, not in a delivery). Close is idempotent and Observe after Close
+// is a no-op; the first failure is returned (and re-returned on
+// repeated Close).
+func (m *IsolatingMultiSink) Close() error {
+	if m.closed {
+		return m.closeErr
+	}
+	m.closed = true
+	for _, s := range m.sinks {
+		if err := flushClose(s.sink); err != nil {
+			m.detached = append(m.detached, Detachment{Name: s.name, Events: s.n, Err: err})
+			if m.closeErr == nil {
+				m.closeErr = err
+			}
+		}
+	}
+	m.sinks = nil
+	return m.closeErr
 }
 
 // Live reports how many sinks are still attached.

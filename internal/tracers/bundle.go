@@ -291,6 +291,19 @@ func (b *Bundle) BytesPerCPU() []uint64 {
 	return out
 }
 
+// PendingPerCPU reports records emitted but not yet drained per CPU,
+// summed across the three tracers — the ring-fill gauge the metrics
+// endpoint exposes alongside LostPerCPU.
+func (b *Bundle) PendingPerCPU() []int {
+	out := make([]int, b.NumCPUStats())
+	for _, pb := range b.perfBuffers() {
+		for cpu := 0; cpu < pb.NumRings(); cpu++ {
+			out[cpu] += pb.PendingOnCPU(cpu)
+		}
+	}
+	return out
+}
+
 // recordCursor adapts one drained per-CPU ring segment to a decoded
 // event stream: records decode lazily, one at a time, directly out of
 // the ring's arena chunks as the merge pulls them, so the streaming

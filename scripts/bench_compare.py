@@ -34,6 +34,7 @@ GATED = [
     "BenchmarkStoreStreamSessionParallel",
     "BenchmarkStoreQuerySessionParallel",
     "BenchmarkSegmentWriteV2Async",
+    "BenchmarkMetricsSinkObserve",
     "BenchmarkSnapshotIncremental/preload=2s",
     "BenchmarkSnapshotIncremental/preload=8s",
     "BenchmarkSnapshotIncremental/preload=16s",
@@ -47,6 +48,7 @@ ZERO_ALLOC = [
     "BenchmarkEBPF_DispatchTier2",
     "BenchmarkEBPF_ProbeDispatch",
     "BenchmarkBundle_StreamDrain",
+    "BenchmarkMetricsSinkObserve",
 ]
 
 
